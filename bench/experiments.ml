@@ -1,0 +1,730 @@
+(* One function per table and figure of the paper's evaluation. Each
+   prints the same rows/series the paper reports, at a machine scale set
+   by [--scale] (1.0 = paper-sized clusters; the default keeps the full
+   suite in laptop territory). See EXPERIMENTS.md for recorded outputs and
+   the paper-vs-measured comparison. *)
+
+module G = Flowgraph.Graph
+module FN = Firmament.Flow_network
+module S = Mcmf.Solver_intf
+module Stats = Dcsim.Stats
+
+let row = Stats.row
+let header = Stats.header
+let pp = Setup.pp_secs
+
+(* {1 Static tables} *)
+
+let table1 ~scale:_ () =
+  header "Table 1: worst-case time complexities of MCMF algorithms";
+  row [ "Algorithm"; "Worst-case complexity" ];
+  row [ "Relaxation"; "O(M^3 C U^2)" ];
+  row [ "Cycle canceling"; "O(N M^2 C U)" ];
+  row [ "Cost scaling"; "O(N^2 M log(N C))" ];
+  row [ "Succ. shortest path"; "O(N^2 U log N)" ];
+  print_endline "(N nodes, M arcs, C max cost, U max capacity; M > N > C > U here)"
+
+let table2 ~scale:_ () =
+  header "Table 2: per-iteration preconditions of each algorithm";
+  row [ "Algorithm"; "Feasibility"; "Red.-cost opt."; "eps-optimality" ];
+  row [ "Relaxation"; "-"; "yes"; "-" ];
+  row [ "Cycle canceling"; "yes"; "-"; "-" ];
+  row [ "Cost scaling"; "yes"; "-"; "yes" ];
+  row [ "Succ. shortest path"; "-"; "yes"; "-" ]
+
+let table3 ~scale:_ () =
+  header "Table 3: arc changes requiring solution reoptimization";
+  let open Flowgraph.Changes in
+  let show e =
+    match (e.breaks_feasibility, e.breaks_optimality) with
+    | false, false -> "ok"
+    | true, false -> "breaks-feas"
+    | false, true -> "breaks-opt"
+    | true, true -> "breaks-both"
+  in
+  row [ "Change"; "cpi<0"; "cpi=0"; "cpi>0" ];
+  (* Cells computed from the implementation, mirroring the paper's grid.
+     Flow state per column follows complementary slackness: cpi<0 arcs are
+     saturated, cpi>0 arcs are empty. *)
+  row
+    [
+      "cap increase";
+      show (capacity_change ~reduced_cost:(-1) ~flow:5 ~old_cap:5 ~new_cap:9);
+      show (capacity_change ~reduced_cost:0 ~flow:2 ~old_cap:5 ~new_cap:9);
+      show (capacity_change ~reduced_cost:1 ~flow:0 ~old_cap:5 ~new_cap:9);
+    ];
+  row
+    [
+      "cap decrease (f>u')";
+      show (capacity_change ~reduced_cost:(-1) ~flow:5 ~old_cap:5 ~new_cap:3);
+      show (capacity_change ~reduced_cost:0 ~flow:5 ~old_cap:5 ~new_cap:3);
+      show (capacity_change ~reduced_cost:1 ~flow:0 ~old_cap:5 ~new_cap:3);
+    ];
+  row
+    [
+      "cost increase";
+      show (cost_change ~reduced_cost_after:2 ~flow:5 ~forward_rescap:0);
+      show (cost_change ~reduced_cost_after:1 ~flow:3 ~forward_rescap:2);
+      show (cost_change ~reduced_cost_after:9 ~flow:0 ~forward_rescap:5);
+    ];
+  row
+    [
+      "cost decrease";
+      show (cost_change ~reduced_cost_after:(-9) ~flow:5 ~forward_rescap:0);
+      show (cost_change ~reduced_cost_after:(-1) ~flow:3 ~forward_rescap:2);
+      show (cost_change ~reduced_cost_after:(-1) ~flow:0 ~forward_rescap:5);
+    ]
+
+(* {1 Solver scaling (Figs. 3 and 7)} *)
+
+let measured_rounds s ~rounds ~solver =
+  List.init rounds (fun i ->
+      Setup.churn s ~frac:0.02 ~now:(float_of_int i);
+      let stats, _g = Setup.time_solver s solver in
+      stats.S.runtime)
+
+let fig3 ~scale () =
+  header "Figure 3: Quincy (from-scratch cost scaling) runtime vs cluster size";
+  row [ "machines"; "p1"; "p25"; "p50"; "p75"; "p99"; "max" ];
+  List.iter
+    (fun machines ->
+      let s = Setup.settle ~machines ~util:0.5 ~policy:Setup.Quincy ~seed:42 () in
+      let st = Mcmf.Cost_scaling.create ~alpha:9 () in
+      let runtimes =
+        measured_rounds s ~rounds:7 ~solver:(fun g -> Mcmf.Cost_scaling.solve st g)
+      in
+      let p1, p25, p50, p75, p99 = Stats.five_number runtimes in
+      row
+        [
+          string_of_int machines; pp p1; pp p25; pp p50; pp p75; pp p99;
+          pp (Stats.maximum runtimes);
+        ])
+    (Setup.sizes ~scale [ 50; 450; 1250; 2500; 5000; 12500 ])
+
+let fig7 ~scale () =
+  header "Figure 7: average runtime of the four MCMF algorithms vs cluster size";
+  row [ "machines"; "cycle-cancel"; "ssp"; "cost-scaling"; "relaxation" ];
+  let deadline = 10. in
+  (* Once an algorithm exceeds the deadline at some size, larger sizes are
+     not attempted (the paper's plot similarly runs off the top). *)
+  let cc_dead = ref false and ssp_dead = ref false in
+  List.iter
+    (fun machines ->
+      let s = Setup.settle ~machines ~util:0.5 ~policy:Setup.Quincy ~seed:42 () in
+      let measure solver =
+        let xs =
+          List.init 2 (fun i ->
+              Setup.churn s ~frac:0.02 ~now:(float_of_int i);
+              let stats, _ = Setup.time_solver s solver in
+              (stats.S.outcome, stats.S.runtime))
+        in
+        if List.exists (fun (o, _) -> o = S.Stopped) xs then None
+        else Some (Stats.mean (List.map snd xs))
+      in
+      let timed_out = Printf.sprintf ">=%.0fs" deadline in
+      let show = function None -> timed_out | Some v -> pp v in
+      let cc =
+        if !cc_dead then timed_out
+        else begin
+          let r =
+            measure (fun g -> Mcmf.Cycle_canceling.solve ~stop:(S.deadline_stop deadline) g)
+          in
+          if r = None then cc_dead := true;
+          show r
+        end
+      in
+      let ssp =
+        if !ssp_dead then timed_out
+        else begin
+          let r = measure (fun g -> Mcmf.Ssp.solve ~stop:(S.deadline_stop deadline) g) in
+          if r = None then ssp_dead := true;
+          show r
+        end
+      in
+      let cs =
+        let st = Mcmf.Cost_scaling.create ~alpha:9 () in
+        show (measure (fun g -> Mcmf.Cost_scaling.solve st g))
+      in
+      let rx = show (measure (fun g -> Mcmf.Relaxation.solve g)) in
+      row [ string_of_int machines; cc; ssp; cs; rx ])
+    (Setup.sizes ~scale [ 50; 1250; 2500; 5000; 12500 ])
+
+(* {1 Relaxation edge cases (Figs. 8 and 9)} *)
+
+let fig8 ~scale () =
+  header "Figure 8: runtime near full cluster utilization (Quincy policy)";
+  row [ "slot-util"; "relaxation"; "cost-scaling" ];
+  let machines = max 100 (int_of_float (1250. *. scale)) in
+  List.iter
+    (fun target ->
+      let s = Setup.settle ~machines ~util:0.90 ~policy:Setup.Quincy ~seed:42 () in
+      let slots = Cluster.Topology.total_slots (Cluster.State.topology s.cluster) in
+      let extra =
+        int_of_float (float_of_int slots *. (target -. Cluster.State.utilization s.cluster))
+      in
+      if extra > 0 then Setup.submit_batch s ~n:extra ~now:1.;
+      (* Relaxation's oversubscription blow-up is the point of the figure:
+         cap the measurement and report the cap when exceeded. *)
+      let deadline = 20. in
+      let show (st : S.stats) =
+        if st.S.outcome = S.Stopped then Printf.sprintf ">=%.0fs" deadline else pp st.S.runtime
+      in
+      let rx, _ =
+        Setup.time_solver s (fun g -> Mcmf.Relaxation.solve ~stop:(S.deadline_stop deadline) g)
+      in
+      let st = Mcmf.Cost_scaling.create ~alpha:9 () in
+      let cs, _ = Setup.time_solver s (fun g -> Mcmf.Cost_scaling.solve st g) in
+      row [ Printf.sprintf "%.0f%%" (target *. 100.); show rx; show cs ])
+    (* Targets beyond 100% are the paper's "oversubscribed case": more
+       tasks than slots, the surplus forced onto unscheduled aggregators. *)
+    [ 0.91; 0.93; 0.95; 0.97; 0.99; 1.0; 1.05; 1.15 ]
+
+let fig9 ~scale () =
+  header "Figure 9: arriving-job size vs runtime (load-spreading policy)";
+  row [ "tasks-in-job"; "relaxation"; "cost-scaling" ];
+  let machines = max 100 (int_of_float (1250. *. scale)) in
+  List.iter
+    (fun k ->
+      let s = Setup.settle ~machines ~util:0.4 ~policy:Setup.Load_spread ~seed:42 () in
+      Setup.submit_batch s ~n:k ~now:1.;
+      let deadline = 20. in
+      let show (st : S.stats) =
+        if st.S.outcome = S.Stopped then Printf.sprintf ">=%.0fs" deadline else pp st.S.runtime
+      in
+      let rx, _ =
+        Setup.time_solver s (fun g -> Mcmf.Relaxation.solve ~stop:(S.deadline_stop deadline) g)
+      in
+      let st = Mcmf.Cost_scaling.create ~alpha:9 () in
+      let cs, _ = Setup.time_solver s (fun g -> Mcmf.Cost_scaling.solve st g) in
+      row [ string_of_int k; show rx; show cs ])
+    (List.filter_map
+       (fun k ->
+         let k = int_of_float (float_of_int k *. scale) in
+         if k >= 10 then Some k else None)
+       [ 100; 1000; 2000; 3000; 4000; 5000 ])
+
+(* {1 Early termination (Fig. 10)} *)
+
+let fig10 ~scale () =
+  header "Figure 10: task misplacements under early termination";
+  row [ "algorithm"; "fraction-of-runtime"; "misplaced-tasks" ];
+  let machines = max 100 (int_of_float (1250. *. scale)) in
+  let s = Setup.settle ~machines ~util:0.90 ~policy:Setup.Quincy ~seed:42 () in
+  let slots = Cluster.Topology.total_slots (Cluster.State.topology s.cluster) in
+  Setup.submit_batch s ~n:(slots / 12) ~now:1.;
+  ignore (Firmament.Scheduler.schedule s.sched ~now:1.);
+  Setup.churn s ~frac:0.05 ~now:2.;
+  let net = Firmament.Scheduler.network s.sched in
+  (* Reference optimum. *)
+  let optimal_assignment solver =
+    let _, g = Setup.time_solver s solver in
+    let saved = FN.graph net in
+    FN.set_graph net g;
+    let m = Firmament.Placement.extract_partial net in
+    FN.set_graph net saved;
+    m
+  in
+  let misplacements ~full_runtime ~(solver : ?stop:S.stop -> G.t -> S.stats) =
+    let reference = optimal_assignment (fun g -> solver g) in
+    List.map
+      (fun frac ->
+        let deadline = full_runtime *. frac in
+        let _, g =
+          Setup.time_solver s (fun g -> solver ~stop:(S.deadline_stop deadline) g)
+        in
+        let saved = FN.graph net in
+        FN.set_graph net g;
+        let partial = Firmament.Placement.extract_partial net in
+        FN.set_graph net saved;
+        let mis =
+          List.fold_left2
+            (fun acc (a : Firmament.Placement.assignment) (b : Firmament.Placement.assignment) ->
+              if a.Firmament.Placement.machine <> b.Firmament.Placement.machine then acc + 1
+              else acc)
+            0 partial reference
+        in
+        (frac, mis))
+      [ 0.2; 0.4; 0.6; 0.8; 0.95 ]
+  in
+  let report name full_runtime solver =
+    List.iter
+      (fun (frac, mis) ->
+        row [ name; Printf.sprintf "%.0f%%" (frac *. 100.); string_of_int mis ])
+      (misplacements ~full_runtime ~solver)
+  in
+  let rx_full, _ = Setup.time_solver s (fun g -> Mcmf.Relaxation.solve g) in
+  report "relaxation" rx_full.S.runtime (fun ?stop g -> Mcmf.Relaxation.solve ?stop g);
+  let cs_state () = Mcmf.Cost_scaling.create ~alpha:9 () in
+  let cs_full, _ = Setup.time_solver s (fun g -> Mcmf.Cost_scaling.solve (cs_state ()) g) in
+  report "cost-scaling" cs_full.S.runtime (fun ?stop g ->
+      Mcmf.Cost_scaling.solve ?stop (cs_state ()) g)
+
+(* {1 Incrementality (Figs. 11, 12, 13)} *)
+
+let fig11 ~scale () =
+  header "Figure 11: incremental vs from-scratch cost scaling";
+  row [ "policy"; "from-scratch"; "incremental"; "speedup" ];
+  let machines = max 100 (int_of_float (1250. *. scale)) in
+  List.iter
+    (fun (name, policy) ->
+      let s = Setup.settle ~machines ~util:0.5 ~policy ~seed:42 () in
+      (* Warm graph: solve to optimality in place, price-refine (the paper
+         always refines before applying changes, §6.2), then churn. *)
+      let net = Firmament.Scheduler.network s.sched in
+      let st = Mcmf.Cost_scaling.create ~alpha:9 () in
+      ignore (Mcmf.Cost_scaling.solve st (FN.graph net));
+      ignore
+        (Mcmf.Price_refine.run ~scale:(Mcmf.Cost_scaling.ensure_scale st (FN.graph net))
+           (FN.graph net));
+      Setup.churn s ~frac:0.05 ~now:1.;
+      let g_inc = G.copy (FN.graph net) in
+      let inc = Mcmf.Cost_scaling.solve ~incremental:true st g_inc in
+      let scr, _ =
+        Setup.time_solver s (fun g -> Mcmf.Cost_scaling.solve (Mcmf.Cost_scaling.create ~alpha:9 ()) g)
+      in
+      row
+        [
+          name; pp scr.S.runtime; pp inc.S.runtime;
+          Printf.sprintf "%.2fx" (scr.S.runtime /. Float.max 1e-9 inc.S.runtime);
+        ])
+    [ ("quincy", Setup.Quincy); ("load-spreading", Setup.Load_spread) ]
+
+let fig12a ~scale () =
+  header "Figure 12a: arc prioritization (AP) in relaxation, contended graph";
+  row [ "variant"; "runtime" ];
+  let machines = max 100 (int_of_float (1250. *. scale)) in
+  let k = max 100 (int_of_float (3000. *. scale)) in
+  let s = Setup.settle ~machines ~util:0.4 ~policy:Setup.Load_spread ~seed:42 () in
+  Setup.submit_batch s ~n:k ~now:1.;
+  let no_ap, _ =
+    Setup.time_solver s (fun g -> Mcmf.Relaxation.solve ~arc_prioritization:false g)
+  in
+  let ap, _ = Setup.time_solver s (fun g -> Mcmf.Relaxation.solve ~arc_prioritization:true g) in
+  row [ "no AP"; pp no_ap.S.runtime ];
+  row [ "AP"; pp ap.S.runtime ];
+  Printf.printf "reduction: %.0f%%\n"
+    (100. *. (1. -. (ap.S.runtime /. Float.max 1e-9 no_ap.S.runtime)))
+
+let fig12b ~scale () =
+  header "Figure 12b: efficient task removal (TR) for incremental cost scaling";
+  row [ "variant"; "runtime" ];
+  let machines = max 100 (int_of_float (1250. *. scale)) in
+  let run ~drain =
+    let config =
+      { Firmament.Scheduler.default_config with drain_on_removal = drain }
+    in
+    let s = Setup.settle ~config ~machines ~util:0.5 ~policy:Setup.Quincy ~seed:42 () in
+    let net = Firmament.Scheduler.network s.sched in
+    let st = Mcmf.Cost_scaling.create ~alpha:9 () in
+    ignore (Mcmf.Cost_scaling.solve st (FN.graph net));
+    ignore
+      (Mcmf.Price_refine.run ~scale:(Mcmf.Cost_scaling.ensure_scale st (FN.graph net))
+         (FN.graph net));
+    (* Removal-heavy change batch. *)
+    let live = Cluster.State.live_task_count s.cluster in
+    Setup.finish_random s ~n:(live / 10) ~now:1.;
+    let g = G.copy (FN.graph net) in
+    (Mcmf.Cost_scaling.solve ~incremental:true st g).S.runtime
+  in
+  let no_tr = run ~drain:false in
+  let tr = run ~drain:true in
+  row [ "no TR"; pp no_tr ];
+  row [ "TR"; pp tr ];
+  Printf.printf "reduction: %.0f%%\n" (100. *. (1. -. (tr /. Float.max 1e-9 no_tr)))
+
+let fig13 ~scale () =
+  header "Figure 13: price refine at the relaxation -> cost scaling switch";
+  row [ "percentile"; "cost-scaling"; "price-refine + cost-scaling" ];
+  let machines = max 100 (int_of_float (1250. *. scale)) in
+  let cs_runtimes ~price_refine =
+    let config =
+      {
+        Firmament.Scheduler.default_config with
+        mode = Mcmf.Race.Fastest_sequential;
+        price_refine;
+      }
+    in
+    let s = Setup.settle ~config ~machines ~util:0.6 ~policy:Setup.Quincy ~seed:42 () in
+    List.filter_map
+      (fun i ->
+        Setup.churn s ~frac:0.03 ~now:(float_of_int i);
+        let r = Setup.schedule s ~now:(float_of_int i) in
+        Option.map
+          (fun (st : S.stats) -> st.S.runtime)
+          r.Firmament.Scheduler.cost_scaling_stats)
+      (List.init 15 (fun i -> i + 1))
+  in
+  let plain = cs_runtimes ~price_refine:false in
+  let refined = cs_runtimes ~price_refine:true in
+  List.iter
+    (fun p ->
+      row
+        [
+          Printf.sprintf "p%.0f" p;
+          pp (Stats.percentile plain p);
+          pp (Stats.percentile refined p);
+        ])
+    [ 10.; 50.; 90. ];
+  Printf.printf "median speedup: %.1fx\n"
+    (Stats.percentile plain 50. /. Float.max 1e-9 (Stats.percentile refined 50.))
+
+(* {1 End-to-end replay (Figs. 14, 15, 16, 17, 18)} *)
+
+let replay_config ?(mode = Mcmf.Race.Fastest_sequential) ?(policy = Setup.Quincy)
+    ?(max_rounds = 2000) ?max_sim_time () =
+  {
+    Dcsim.Replay.default_config with
+    scheduler = { Firmament.Scheduler.default_config with mode };
+    policy = Setup.policy_factory policy;
+    max_rounds = Some max_rounds;
+    max_sim_time;
+  }
+
+let trace ~machines ~util ~horizon ?(speedup = 1.) ?(seed = 42) ?machines_per_rack () =
+  Cluster.Trace.generate
+    {
+      (Cluster.Trace.default_params ~machines ()) with
+      target_utilization = util;
+      horizon_s = horizon;
+      speedup;
+      seed;
+      machines_per_rack =
+        (match machines_per_rack with
+        | Some m -> m
+        | None -> (Cluster.Trace.default_params ~machines ()).Cluster.Trace.machines_per_rack);
+    }
+
+let fig14 ~scale () =
+  header "Figure 14: task placement latency, Firmament vs Quincy (90% util)";
+  (* A quarter of the paper's cluster at scale 1.0: the headline is the
+     ratio between the configurations, which holds across sizes. *)
+  let machines = max 150 (int_of_float (3125. *. scale)) in
+  (* Mild acceleration keeps the arrival stream dense enough at scaled-down
+     cluster sizes for a meaningful latency distribution. *)
+  let tr = trace ~machines ~util:0.9 ~horizon:90. ~speedup:4. () in
+  (* Fast solvers need more rounds to cover the same simulated horizon
+     (each cheap round batches fewer events). *)
+  let budget mode =
+    match mode with Mcmf.Race.Cost_scaling_scratch_only -> 400 | _ -> 4000
+  in
+  let latencies mode =
+    let m =
+      Dcsim.Replay.run
+        (replay_config ~mode ~max_rounds:(budget mode) ~max_sim_time:120. ())
+        tr
+    in
+    m.Dcsim.Replay.placement_latencies
+  in
+  let firmament = latencies Mcmf.Race.Fastest_sequential in
+  let quincy = latencies Mcmf.Race.Cost_scaling_scratch_only in
+  row [ "percentile"; "firmament"; "quincy (cost scaling)" ];
+  let safe xs p = match xs with [] -> "-" | _ -> pp (Stats.percentile xs p) in
+  List.iter
+    (fun p ->
+      row [ Printf.sprintf "p%.0f" p; safe firmament p; safe quincy p ])
+    [ 10.; 25.; 50.; 75.; 90.; 99. ];
+  if firmament <> [] && quincy <> [] then
+    Printf.printf "median speedup: %.1fx\n"
+      (Stats.percentile quincy 50. /. Float.max 1e-9 (Stats.percentile firmament 50.))
+
+let locality_of_placements tr cfg =
+  (* Weighted input locality: fraction of input bytes local to the chosen
+     machine across all placements (paper Table 15b). *)
+  let local = ref 0. and total = ref 0. in
+  let cluster_tasks : (int, Cluster.Workload.task) Hashtbl.t = Hashtbl.create 1024 in
+  let note (job : Cluster.Workload.job) =
+    Array.iter (fun (t : Cluster.Workload.task) -> Hashtbl.replace cluster_tasks t.Cluster.Workload.tid t) job.Cluster.Workload.tasks
+  in
+  List.iter note tr.Cluster.Trace.initial_jobs;
+  List.iter (fun (_, j) -> note j) tr.Cluster.Trace.arrivals;
+  let on_round ~sim:_ (r : Firmament.Scheduler.round) =
+    List.iter
+      (fun (tid, m) ->
+        match Hashtbl.find_opt cluster_tasks tid with
+        | None -> ()
+        | Some t ->
+            let fracs = Firmament.Policy_quincy.locality_fractions t in
+            let f = Option.value ~default:0. (List.assoc_opt m fracs) in
+            total := !total +. t.Cluster.Workload.input_mb;
+            local := !local +. (f *. t.Cluster.Workload.input_mb))
+      r.Firmament.Scheduler.started
+  in
+  let m = Dcsim.Replay.run_with ~config:cfg ~trace:tr ~on_round () in
+  (m, if !total > 0. then !local /. !total else 0.)
+
+(* Weighted input locality of a settled (optimal) bulk assignment: both
+   solver configurations produce min-cost flows, so locality depends only
+   on the threshold. *)
+let settled_locality ~machines ~threshold =
+  (* Scale the rack size with the cluster so the rack count (and hence the
+     per-rack locality fractions the threshold gates) resembles the
+     paper's 312-rack topology rather than collapsing to 2-3 racks. *)
+  let machines_per_rack = max 4 (machines / 30) in
+  let s =
+    Setup.settle ~machines_per_rack ~machines ~util:0.9
+      ~policy:(Setup.Quincy_threshold threshold) ~seed:42 ()
+  in
+  let topo = Cluster.State.topology s.Setup.cluster in
+  let local = ref 0. and total = ref 0. in
+  Cluster.State.iter_tasks s.Setup.cluster (fun t ->
+      match Cluster.Workload.machine_of t with
+      | Some m when t.Cluster.Workload.input_mb > 0. ->
+          (* Rack-level locality, as in Quincy: fraction of the input
+             stored in the chosen machine's rack (machine included). *)
+          let rack = Cluster.Topology.rack_of topo m in
+          let f =
+            List.fold_left
+              (fun acc (m', frac) ->
+                if Cluster.Topology.rack_of topo m' = rack then acc +. frac else acc)
+              0.
+              (Firmament.Policy_quincy.locality_fractions t)
+          in
+          total := !total +. t.Cluster.Workload.input_mb;
+          local := !local +. (f *. t.Cluster.Workload.input_mb)
+      | _ -> ());
+  if !total > 0. then !local /. !total else 0.
+
+let fig15 ~scale () =
+  header "Figure 15: preference-arc threshold sweep (14% vs 2%)";
+  let machines = max 120 (int_of_float (2500. *. scale)) in
+  row [ "config"; "threshold"; "alg p50"; "alg p99"; "input locality" ];
+  List.iter
+    (fun (mode_name, mode) ->
+      List.iter
+        (fun th ->
+          let tr = trace ~machines ~util:0.9 ~horizon:30. ~speedup:4. () in
+          let rounds =
+            match mode with Mcmf.Race.Cost_scaling_scratch_only -> 250 | _ -> 2500
+          in
+          let cfg =
+            replay_config ~mode ~policy:(Setup.Quincy_threshold th) ~max_rounds:rounds
+              ~max_sim_time:45. ()
+          in
+          let m, _ = locality_of_placements tr cfg in
+          let rts = m.Dcsim.Replay.algorithm_runtimes in
+          let locality = settled_locality ~machines ~threshold:th in
+          row
+            [
+              mode_name;
+              Printf.sprintf "%.0f%%" (th *. 100.);
+              pp (Stats.percentile rts 50.);
+              pp (Stats.percentile rts 99.);
+              Printf.sprintf "%.1f%%" (locality *. 100.);
+            ])
+        [ 0.14; 0.02 ])
+    [
+      ("firmament", Mcmf.Race.Fastest_sequential);
+      ("quincy", Mcmf.Race.Cost_scaling_scratch_only);
+    ]
+
+let fig16 ~scale () =
+  header "Figure 16: runtime timeline under transient oversubscription";
+  let machines = max 150 (int_of_float (1250. *. scale)) in
+  (* Steady 90% + an arrival burst pushing past capacity mid-trace. *)
+  let mk_trace () =
+    let tr = trace ~machines ~util:0.9 ~horizon:90. () in
+    let slots = Cluster.Topology.total_slots tr.Cluster.Trace.topology in
+    let burst =
+      List.init 4 (fun i ->
+          let t = 30. +. (2. *. float_of_int i) in
+          ( t,
+            Dcsim.Workloads.big_job ~jid:(900_000 + i) ~n_tasks:(slots / 20) ~submit:t
+              ~duration:30.
+              ~first_tid:(20_000_000 + (i * 100_000))
+              () ))
+    in
+    {
+      tr with
+      Cluster.Trace.arrivals =
+        List.sort (fun (a, _) (b, _) -> compare a b) (tr.Cluster.Trace.arrivals @ burst);
+    }
+  in
+  row [ "mode"; "pre-burst p50"; "burst p50"; "burst max"; "post-burst p50" ];
+  List.iter
+    (fun (name, mode) ->
+      let m = Dcsim.Replay.run (replay_config ~mode ~max_rounds:400 ()) (mk_trace ()) in
+      let phase lo hi =
+        List.filter_map
+          (fun (t, rt) -> if t >= lo && t < hi then Some rt else None)
+          m.Dcsim.Replay.runtime_timeline
+      in
+      let safe f xs = match xs with [] -> "-" | _ -> f xs in
+      row
+        [
+          name;
+          safe (fun xs -> pp (Stats.percentile xs 50.)) (phase 0. 30.);
+          safe (fun xs -> pp (Stats.percentile xs 50.)) (phase 30. 60.);
+          safe (fun xs -> pp (Stats.maximum xs)) (phase 30. 60.);
+          safe (fun xs -> pp (Stats.percentile xs 50.)) (phase 60. 1e9);
+        ])
+    [
+      ("relaxation-only", Mcmf.Race.Relaxation_only);
+      ("quincy (cost scaling)", Mcmf.Race.Cost_scaling_scratch_only);
+      ("firmament", Mcmf.Race.Fastest_sequential);
+    ]
+
+let fig17 ~scale () =
+  header "Figure 17: job response time vs task duration (short-task jobs)";
+  row [ "machines"; "task-duration"; "ideal"; "job-response p50"; "p90" ];
+  let sizes =
+    List.filter (fun m -> m >= 50) [ 100; max 150 (int_of_float (2500. *. scale)) ]
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun machines ->
+      List.iter
+        (fun duration ->
+          let slots = 8 in
+          (* About 500 tasks per point keeps the round count tractable on
+             small hosts; the breaking point shows in the p50/p90 lift. *)
+          let horizon =
+            500. *. duration /. (0.8 *. float_of_int (machines * slots))
+          in
+          let arrivals =
+            Dcsim.Workloads.short_task_jobs ~machines ~slots ~task_duration:duration
+              ~tasks_per_job:10 ~load:0.8 ~horizon ~seed:3
+          in
+          let topology =
+            Cluster.Topology.make ~machines ~machines_per_rack:40 ~slots_per_machine:slots ()
+          in
+          let tr =
+            { Cluster.Trace.topology; initial_jobs = []; arrivals; machine_events = [];
+              params = Cluster.Trace.default_params ~machines () }
+          in
+          let m =
+            Dcsim.Replay.run
+              (replay_config ~policy:Setup.Load_spread ~max_rounds:3_000 ())
+              tr
+          in
+          match m.Dcsim.Replay.job_response_times with
+          | [] -> row [ string_of_int machines; pp duration; pp duration; "-"; "-" ]
+          | rs ->
+              row
+                [
+                  string_of_int machines;
+                  pp duration;
+                  pp duration;
+                  pp (Stats.percentile rs 50.);
+                  pp (Stats.percentile rs 90.);
+                ])
+        [ 2.; 0.5; 0.1; 0.02 ])
+    sizes
+
+let fig18 ~scale () =
+  header "Figure 18: placement latency under accelerated Google trace";
+  row [ "speedup"; "mode"; "p25"; "p50"; "p75"; "p99"; "max" ];
+  let machines = max 150 (int_of_float (2500. *. scale)) in
+  List.iter
+    (fun speedup ->
+      List.iter
+        (fun (name, mode) ->
+          let tr =
+            trace ~machines ~util:0.8 ~horizon:30. ~speedup:(float_of_int speedup) ()
+          in
+          let m =
+            Dcsim.Replay.run (replay_config ~mode ~max_rounds:400 ~max_sim_time:45. ()) tr
+          in
+          match m.Dcsim.Replay.placement_latencies with
+          | [] -> row [ string_of_int speedup; name; "-"; "-"; "-"; "-"; "-" ]
+          | ls ->
+              row
+                [
+                  string_of_int speedup;
+                  name;
+                  pp (Stats.percentile ls 25.);
+                  pp (Stats.percentile ls 50.);
+                  pp (Stats.percentile ls 75.);
+                  pp (Stats.percentile ls 99.);
+                  pp (Stats.maximum ls);
+                ])
+        [
+          ("firmament", Mcmf.Race.Fastest_sequential);
+          ("relaxation-only", Mcmf.Race.Relaxation_only);
+        ])
+    [ 50; 150; 300 ]
+
+(* {1 Local-testbed placement quality (Fig. 19)} *)
+
+let fig19 ~background ~n_tasks () =
+  let machines = 40 in
+  let topology =
+    Cluster.Topology.make ~machines ~machines_per_rack:40 ~slots_per_machine:8 ()
+  in
+  let arrivals =
+    Dcsim.Workloads.testbed_short_batch ~machines ~n_tasks ~interarrival:1.2 ~seed:5
+  in
+  let bg = if background then Dcsim.Workloads.testbed_background ~machines ~seed:6 else [] in
+  let schedulers =
+    [
+      ("idle (isolation)", Dcsim.Testbed.Isolation);
+      ( "firmament",
+        Dcsim.Testbed.Firmament
+          (fun ~bandwidth_used ~drain net st ->
+            Firmament.Policy_network_aware.make ~bandwidth_used ~drain net st) );
+      ("swarmkit", Dcsim.Testbed.Baseline (Baselines.swarmkit ()));
+      ("kubernetes", Dcsim.Testbed.Baseline (Baselines.kubernetes ()));
+      ("mesos", Dcsim.Testbed.Baseline (Baselines.mesos ()));
+      ("sparrow", Dcsim.Testbed.Baseline (Baselines.sparrow ()));
+    ]
+  in
+  row [ "scheduler"; "p25"; "p50"; "p75"; "p90"; "p99" ];
+  let tails = ref [] in
+  List.iter
+    (fun (name, kind) ->
+      let r = Dcsim.Testbed.run ~topology ~arrivals ~background:bg kind in
+      let rs = r.Dcsim.Testbed.response_times in
+      if rs = [] then row [ name; "-"; "-"; "-"; "-"; "-" ]
+      else begin
+        tails := (name, Stats.percentile rs 99.) :: !tails;
+        row
+          [
+            name;
+            pp (Stats.percentile rs 25.);
+            pp (Stats.percentile rs 50.);
+            pp (Stats.percentile rs 75.);
+            pp (Stats.percentile rs 90.);
+            pp (Stats.percentile rs 99.);
+          ]
+      end)
+    schedulers;
+  (match List.assoc_opt "firmament" !tails with
+  | Some f when f > 0. ->
+      List.iter
+        (fun (name, t) ->
+          if name <> "firmament" && name <> "idle (isolation)" then
+            Printf.printf "p99 %s / firmament = %.1fx\n" name (t /. f))
+        (List.rev !tails)
+  | _ -> ())
+
+let fig19a ~scale () =
+  header "Figure 19a: short batch tasks, idle network (40 machines)";
+  fig19 ~background:false ~n_tasks:(max 40 (int_of_float (200. *. scale *. 10.))) ()
+
+let fig19b ~scale () =
+  header "Figure 19b: short batch tasks with background traffic (40 machines)";
+  fig19 ~background:true ~n_tasks:(max 40 (int_of_float (200. *. scale *. 10.))) ()
+
+(* {1 Registry} *)
+
+let all =
+  [
+    ("table1", "Worst-case MCMF complexities", table1);
+    ("table2", "Algorithm per-iteration preconditions", table2);
+    ("table3", "Arc-change reoptimization grid", table3);
+    ("fig3", "Quincy runtime vs cluster size", fig3);
+    ("fig7", "Four MCMF algorithms vs cluster size", fig7);
+    ("fig8", "Runtime near full utilization", fig8);
+    ("fig9", "Arriving-job size vs runtime", fig9);
+    ("fig10", "Early-termination misplacements", fig10);
+    ("fig11", "Incremental vs from-scratch cost scaling", fig11);
+    ("fig12a", "Arc prioritization ablation", fig12a);
+    ("fig12b", "Efficient task removal ablation", fig12b);
+    ("fig13", "Price refine at algorithm switch", fig13);
+    ("fig14", "Placement latency: Firmament vs Quincy", fig14);
+    ("fig15", "Preference threshold sweep + locality", fig15);
+    ("fig16", "Oversubscription timeline", fig16);
+    ("fig17", "Short-task breaking point", fig17);
+    ("fig18", "Accelerated-trace placement latency", fig18);
+    ("fig19a", "Testbed, idle network", fig19a);
+    ("fig19b", "Testbed, background traffic", fig19b);
+  ]

@@ -1,0 +1,105 @@
+(* Bechamel micro-benchmarks for the hot kernels underneath the
+   experiments: graph mutation/scan primitives, the solver fast paths, and
+   placement extraction. Run with `bench/main.exe micro`. *)
+
+open Bechamel
+open Toolkit
+
+module G = Flowgraph.Graph
+
+(* A mid-sized scheduling-shaped graph: tasks -> aggregator -> machines -> sink. *)
+let scheduling_graph ~tasks ~machines =
+  let g = G.create () in
+  let sink = G.add_node g ~supply:(-tasks) in
+  let agg = G.add_node g ~supply:0 in
+  let ms =
+    Array.init machines (fun _ ->
+        let m = G.add_node g ~supply:0 in
+        ignore (G.add_arc g ~src:m ~dst:sink ~cost:0 ~cap:8);
+        m)
+  in
+  Array.iter (fun m -> ignore (G.add_arc g ~src:agg ~dst:m ~cost:1 ~cap:8)) ms;
+  for i = 0 to tasks - 1 do
+    let t = G.add_node g ~supply:1 in
+    ignore (G.add_arc g ~src:t ~dst:agg ~cost:10 ~cap:1);
+    ignore (G.add_arc g ~src:t ~dst:ms.(i mod machines) ~cost:((i mod 7) + 1) ~cap:1)
+  done;
+  g
+
+let test_graph_push =
+  let g = scheduling_graph ~tasks:100 ~machines:10 in
+  let arc = ref (-1) in
+  G.iter_arcs g (fun a -> if !arc < 0 && G.rescap g a > 1 then arc := a);
+  Test.make ~name:"graph push/unpush"
+    (Staged.stage (fun () ->
+         G.push g !arc 1;
+         G.push g (G.rev !arc) 1))
+
+let test_active_scan =
+  let g = scheduling_graph ~tasks:2000 ~machines:100 in
+  (* The aggregator is node 1 by construction. *)
+  Test.make ~name:"active-list scan (aggregator)"
+    (Staged.stage (fun () ->
+         let n = ref 0 in
+         let it = ref (G.first_active g 1) in
+         while !it >= 0 do
+           incr n;
+           it := G.next_active g !it
+         done;
+         Sys.opaque_identity !n))
+
+let test_full_scan =
+  let g = scheduling_graph ~tasks:2000 ~machines:100 in
+  Test.make ~name:"full-list scan (aggregator)"
+    (Staged.stage (fun () ->
+         let n = ref 0 in
+         let it = ref (G.first_out g 1) in
+         while !it >= 0 do
+           incr n;
+           it := G.next_out g !it
+         done;
+         Sys.opaque_identity !n))
+
+let test_relaxation_small =
+  Test.make ~name:"relaxation solve (1k tasks)"
+    (Staged.stage (fun () ->
+         let g = scheduling_graph ~tasks:1000 ~machines:50 in
+         ignore (Mcmf.Relaxation.solve g)))
+
+let test_cost_scaling_small =
+  Test.make ~name:"cost scaling solve (1k tasks)"
+    (Staged.stage (fun () ->
+         let g = scheduling_graph ~tasks:1000 ~machines:50 in
+         ignore (Mcmf.Cost_scaling.solve (Mcmf.Cost_scaling.create ~alpha:9 ()) g)))
+
+let test_graph_copy =
+  let g = scheduling_graph ~tasks:2000 ~machines:100 in
+  Test.make ~name:"graph copy (2k tasks)" (Staged.stage (fun () -> ignore (G.copy g)))
+
+let run () =
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [
+        test_graph_push;
+        test_active_scan;
+        test_full_scan;
+        test_graph_copy;
+        test_relaxation_small;
+        test_cost_scaling_small;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Dcsim.Stats.header "Microbenchmarks (ns/op, OLS on monotonic clock)";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "%-40s %12.1f ns\n" name est
+      | Some [] | None -> Printf.printf "%-40s %12s\n" name "n/a")
+    (List.sort compare rows)

@@ -1,0 +1,129 @@
+(* Shared scaffolding for the benchmark experiments: settled clusters,
+   controlled churn, and solver measurement on graph copies. *)
+
+module G = Flowgraph.Graph
+module FN = Firmament.Flow_network
+module W = Cluster.Workload
+
+type policy_kind = Quincy | Quincy_threshold of float | Load_spread | Network_aware
+
+let policy_factory kind ~drain net st =
+  match kind with
+  | Quincy -> Firmament.Policy_quincy.make ~drain net st
+  | Quincy_threshold th ->
+      Firmament.Policy_quincy.make
+        ~config:{ Firmament.Policy_quincy.default_config with preference_threshold = th }
+        ~drain net st
+  | Load_spread -> Firmament.Policy_load_spread.make ~drain net st
+  | Network_aware -> Firmament.Policy_network_aware.make ~drain net st
+
+(* A cluster settled into steady state: initial jobs submitted and placed. *)
+type settled = {
+  sched : Firmament.Scheduler.t;
+  cluster : Cluster.State.t;
+  trace : Cluster.Trace.t;
+  rng : Random.State.t;
+  mutable next_jid : int;
+  mutable next_tid : int;
+}
+
+let settle ?(config = Firmament.Scheduler.default_config) ?machines_per_rack ~machines ~util
+    ~policy ~seed () =
+  let base = Cluster.Trace.default_params ~machines () in
+  let params =
+    {
+      base with
+      target_utilization = util;
+      horizon_s = 0.;
+      seed;
+      machines_per_rack =
+        Option.value ~default:base.Cluster.Trace.machines_per_rack machines_per_rack;
+    }
+  in
+  let trace = Cluster.Trace.generate params in
+  let cluster = Cluster.State.create trace.Cluster.Trace.topology in
+  let sched = Firmament.Scheduler.create ~config cluster ~policy:(policy_factory policy) in
+  List.iter
+    (fun job -> Firmament.Scheduler.submit_job sched (W.clone_job job))
+    trace.Cluster.Trace.initial_jobs;
+  (* A few rounds to settle (one usually suffices). *)
+  let rec go i =
+    let r = Firmament.Scheduler.schedule sched ~now:0. in
+    if i < 5 && r.Firmament.Scheduler.started <> [] && Cluster.State.waiting_count cluster > 0
+    then go (i + 1)
+  in
+  go 0;
+  {
+    sched;
+    cluster;
+    trace;
+    rng = Random.State.make [| seed + 77 |];
+    next_jid = 1_000_000;
+    next_tid = 10_000_000;
+  }
+
+(* Submit one fresh batch job of [n] tasks through the scheduler's policy
+   (graph changes included), without scheduling. *)
+let submit_batch ?(duration = 120.) ?(input_mb = 500.) s ~n ~now =
+  let machines = Cluster.Topology.machine_count (Cluster.State.topology s.cluster) in
+  let jid = s.next_jid in
+  s.next_jid <- jid + 1;
+  let tasks =
+    Array.init n (fun _ ->
+        let tid = s.next_tid in
+        s.next_tid <- tid + 1;
+        let replicas = List.init 3 (fun _ -> Random.State.int s.rng machines) in
+        W.make_task ~tid ~job:jid ~submit_time:now ~duration ~input_mb
+          ~input_machines:replicas
+          ~net_demand_mbps:(200 + Random.State.int s.rng 800)
+          ())
+  in
+  Firmament.Scheduler.submit_job s.sched
+    (W.make_job ~jid ~klass:Cluster.Types.Batch ~submit_time:now ~tasks)
+
+(* Finish [n] random running tasks through the scheduler (frees slots and
+   removes their nodes, with the configured removal heuristic). *)
+let finish_random s ~n ~now =
+  let running = ref [] in
+  Cluster.State.iter_tasks s.cluster (fun t -> if W.is_running t then running := t.W.tid :: !running);
+  let arr = Array.of_list !running in
+  let len = Array.length arr in
+  if len > 0 then begin
+    (* Partial Fisher-Yates for a random sample. *)
+    let k = min n len in
+    for i = 0 to k - 1 do
+      let j = i + Random.State.int s.rng (len - i) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done;
+    for i = 0 to k - 1 do
+      Firmament.Scheduler.finish_task s.sched arr.(i) ~now
+    done
+  end
+
+(* One churn step: completions + a same-sized batch arrival, then refresh.
+   Leaves the graph updated but unsolved. *)
+let churn s ~frac ~now =
+  let live = Cluster.State.live_task_count s.cluster in
+  let n = max 1 (int_of_float (frac *. float_of_int live)) in
+  finish_random s ~n ~now;
+  submit_batch s ~n ~now
+
+(* Measure an algorithm on a fresh copy of the network's graph.
+   [from_scratch] resets flow and potentials first. *)
+let time_solver ?(from_scratch = true) s solver =
+  let g = G.copy (FN.graph (Firmament.Scheduler.network s.sched)) in
+  if from_scratch then G.reset_flow g;
+  let stats = solver g in
+  (stats, g)
+
+let schedule s ~now = Firmament.Scheduler.schedule s.sched ~now
+
+(* Machine-count ladder for size sweeps, scaled and deduplicated. *)
+let sizes ~scale base = List.sort_uniq compare (List.map (fun m -> max 25 (int_of_float (float_of_int m *. scale))) base)
+
+let pp_secs v =
+  if v < 0.001 then Printf.sprintf "%.0fµs" (v *. 1e6)
+  else if v < 1. then Printf.sprintf "%.1fms" (v *. 1e3)
+  else Printf.sprintf "%.2fs" v

@@ -1,0 +1,15 @@
+module S = Mcmf.Solver_intf
+let () =
+  let refine = bool_of_string Sys.argv.(1) in
+  let config = { Firmament.Scheduler.default_config with
+                 mode = Mcmf.Race.Fastest_sequential; price_refine = refine } in
+  let s = Setup_dbg.settle ~config ~machines:125 ~util:0.6 ~policy:Setup_dbg.Quincy ~seed:42 () in
+  for i = 1 to 6 do
+    Setup_dbg.churn s ~frac:0.03 ~now:(float_of_int i);
+    let r = Setup_dbg.schedule s ~now:(float_of_int i) in
+    (match r.Firmament.Scheduler.cost_scaling_stats with
+     | Some st -> Printf.printf "round %d: cs=%.1fms refines=%d pushes=%d winner=%s\n%!"
+         i (st.S.runtime*.1000.) st.S.iterations st.S.pushes
+         (match r.Firmament.Scheduler.winner with Mcmf.Race.Relaxation -> "rx" | _ -> "cs")
+     | None -> ())
+  done

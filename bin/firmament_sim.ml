@@ -1,0 +1,115 @@
+(* firmament_sim: replay a synthetic Google-like cluster trace against the
+   Firmament scheduler and report scheduling metrics.
+
+     dune exec bin/firmament_sim.exe -- --machines 500 --util 0.9 \
+       --policy quincy --mode race --horizon 60 *)
+
+open Cmdliner
+
+type policy = Quincy | Load_spread | Network_aware
+
+let policy_conv =
+  Arg.enum [ ("quincy", Quincy); ("load-spread", Load_spread); ("network-aware", Network_aware) ]
+
+let mode_conv =
+  Arg.enum
+    Mcmf.Race.
+      [
+        ("race", Race_parallel);
+        ("fastest", Fastest_sequential);
+        ("relaxation", Relaxation_only);
+        ("incremental-cs", Incremental_cost_scaling_only);
+        ("quincy-cs", Cost_scaling_scratch_only);
+      ]
+
+let run machines util horizon speedup seed policy mode max_rounds =
+  let trace =
+    Cluster.Trace.generate
+      {
+        (Cluster.Trace.default_params ~machines ()) with
+        target_utilization = util;
+        horizon_s = horizon;
+        speedup;
+        seed;
+      }
+  in
+  let policy_factory ~drain net st =
+    match policy with
+    | Quincy -> Firmament.Policy_quincy.make ~drain net st
+    | Load_spread -> Firmament.Policy_load_spread.make ~drain net st
+    | Network_aware -> Firmament.Policy_network_aware.make ~drain net st
+  in
+  let config =
+    {
+      Dcsim.Replay.default_config with
+      scheduler = { Firmament.Scheduler.default_config with mode };
+      policy = policy_factory;
+      max_rounds = Some max_rounds;
+    }
+  in
+  Printf.printf "replaying: %d machines, %.0f%% target utilization, %.0fs horizon, %gx speedup\n%!"
+    machines (util *. 100.) horizon speedup;
+  let m = Dcsim.Replay.run config trace in
+  let open Dcsim.Replay in
+  Printf.printf "rounds                 %d\n" m.rounds;
+  Printf.printf "tasks placed           %d\n" m.tasks_placed;
+  Printf.printf "preemptions            %d\n" m.preemptions;
+  Printf.printf "migrations             %d\n" m.migrations;
+  Printf.printf "simulated end          %.2f s\n" m.sim_end;
+  let series name xs =
+    match xs with
+    | [] -> Printf.printf "%-22s (none)\n" name
+    | _ ->
+        Printf.printf "%-22s p50 %-10s p90 %-10s p99 %-10s max %-10s\n" name
+          (Setup_shared.pp_secs (Dcsim.Stats.percentile xs 50.))
+          (Setup_shared.pp_secs (Dcsim.Stats.percentile xs 90.))
+          (Setup_shared.pp_secs (Dcsim.Stats.percentile xs 99.))
+          (Setup_shared.pp_secs (Dcsim.Stats.maximum xs))
+  in
+  series "algorithm runtime" m.algorithm_runtimes;
+  series "placement latency" m.placement_latencies;
+  series "task response time" m.response_times
+
+let cmd =
+  let machines =
+    Arg.(value & opt int 250 & info [ "machines" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let util =
+    Arg.(
+      value & opt float 0.8
+      & info [ "util" ] ~docv:"FRACTION" ~doc:"Target steady-state slot utilization.")
+  in
+  let horizon =
+    Arg.(value & opt float 60. & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Arrival-stream length.")
+  in
+  let speedup =
+    Arg.(
+      value & opt float 1.
+      & info [ "speedup" ] ~docv:"X" ~doc:"Trace acceleration factor (paper Fig. 18).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+  let policy =
+    Arg.(
+      value & opt policy_conv Quincy
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Scheduling policy: $(b,quincy), $(b,load-spread) or $(b,network-aware).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Mcmf.Race.Fastest_sequential
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Solver orchestration: $(b,race), $(b,fastest), $(b,relaxation), \
+             $(b,incremental-cs) or $(b,quincy-cs).")
+  in
+  let max_rounds =
+    Arg.(value & opt int 500 & info [ "max-rounds" ] ~docv:"N" ~doc:"Scheduling-round budget.")
+  in
+  let doc = "replay a synthetic cluster trace against the Firmament scheduler" in
+  Cmd.v
+    (Cmd.info "firmament_sim" ~doc)
+    Term.(
+      const run $ machines $ util $ horizon $ speedup $ seed $ policy $ mode $ max_rounds)
+
+let () = exit (Cmd.eval cmd)

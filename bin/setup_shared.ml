@@ -1,0 +1,6 @@
+(* Tiny shared formatting helpers for the CLI front-ends. *)
+
+let pp_secs v =
+  if v < 0.001 then Printf.sprintf "%.0fµs" (v *. 1e6)
+  else if v < 1. then Printf.sprintf "%.1fms" (v *. 1e3)
+  else Printf.sprintf "%.2fs" v

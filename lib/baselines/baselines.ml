@@ -1,0 +1,128 @@
+type t = {
+  name : string;
+  select :
+    Cluster.State.t -> Cluster.Workload.task -> Cluster.Types.machine_id option;
+  worker_side_queue : bool;
+  per_task_overhead_s : float;
+}
+
+let live_machines state =
+  let topo = Cluster.State.topology state in
+  let acc = ref [] in
+  Cluster.Topology.iter_machines topo (fun m ->
+      if Cluster.State.machine_is_live state m.Cluster.Topology.id then
+        acc := m.Cluster.Topology.id :: !acc);
+  List.rev !acc
+
+let feasible_for state task ms =
+  List.filter (fun m -> Cluster.State.fits_on state m task) ms
+
+(* Least running tasks; ties broken by lowest id (deterministic). *)
+let least_loaded state ms =
+  match ms with
+  | [] -> None
+  | _ ->
+      Some
+        (List.fold_left
+           (fun best m ->
+             if Cluster.State.running_count state m < Cluster.State.running_count state best
+             then m
+             else best)
+           (List.hd ms) (List.tl ms))
+
+let swarmkit () =
+  {
+    name = "swarmkit";
+    select =
+      (fun state task -> least_loaded state (feasible_for state task (live_machines state)));
+    worker_side_queue = false;
+    per_task_overhead_s = 0.0005;
+  }
+
+let kubernetes () =
+  {
+    name = "kubernetes";
+    select =
+      (fun state task ->
+        (* Filter, then score: least-requested (free-slot fraction), with
+           a mild preference for keeping some machines unfragmented. *)
+        let feasible = feasible_for state task (live_machines state) in
+        let score m =
+          let info = Cluster.Topology.machine (Cluster.State.topology state) m in
+          let free = Cluster.State.free_slots_on state m in
+          (* 0..10 like kube-scheduler priorities. *)
+          10 * free / max 1 info.Cluster.Topology.slots
+        in
+        match feasible with
+        | [] -> None
+        | _ ->
+            Some
+              (List.fold_left
+                 (fun best m -> if score m > score best then m else best)
+                 (List.hd feasible) (List.tl feasible)));
+    worker_side_queue = false;
+    per_task_overhead_s = 0.001;
+  }
+
+let mesos ?(offer_fraction = 0.25) () =
+  let cursor = ref 0 in
+  {
+    name = "mesos";
+    select =
+      (fun state task ->
+        (* A rotating window of resource offers; first fit wins. *)
+        let ms = Array.of_list (live_machines state) in
+        let n = Array.length ms in
+        if n = 0 then None
+        else begin
+          let window = max 1 (int_of_float (offer_fraction *. float_of_int n)) in
+          let found = ref None in
+          let i = ref 0 in
+          while !found = None && !i < window do
+            let m = ms.((!cursor + !i) mod n) in
+            if Cluster.State.fits_on state m task then found := Some m;
+            incr i
+          done;
+          cursor := (!cursor + window) mod n;
+          !found
+        end);
+    worker_side_queue = false;
+    per_task_overhead_s = 0.002;
+  }
+
+let sparrow ?(probes = 2) ?(seed = 1) () =
+  let rng = Random.State.make [| seed |] in
+  {
+    name = "sparrow";
+    select =
+      (fun state _task ->
+        (* Batch sampling: probe d random machines, pick the least loaded;
+           with late binding the task queues at that worker if busy. *)
+        let ms = Array.of_list (live_machines state) in
+        let n = Array.length ms in
+        if n = 0 then None
+        else begin
+          let sampled = List.init (min probes n) (fun _ -> ms.(Random.State.int rng n)) in
+          least_loaded state sampled
+        end);
+    worker_side_queue = true;
+    per_task_overhead_s = 0.0002;
+  }
+
+let random ?(seed = 2) () =
+  let rng = Random.State.make [| seed |] in
+  {
+    name = "random";
+    select =
+      (fun state task ->
+        match feasible_for state task (live_machines state) with
+        | [] -> None
+        | ms ->
+            let a = Array.of_list ms in
+            Some a.(Random.State.int rng (Array.length a)));
+    worker_side_queue = false;
+    per_task_overhead_s = 0.0001;
+  }
+
+let all ?(seed = 1) () =
+  [ swarmkit (); kubernetes (); mesos (); sparrow ~seed (); random ~seed:(seed + 1) () ]

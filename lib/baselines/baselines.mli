@@ -1,0 +1,48 @@
+(** Queue-based task-by-task schedulers (paper §2.1), used as comparison
+    points in the §7.5 placement-quality experiments (Fig. 19).
+
+    Each baseline reduces to a machine-selection function invoked for one
+    task at a time, mirroring how the corresponding real system's
+    scheduler behaves in a slot-based world:
+
+    - {b SwarmKit}: least-loaded spreading (fewest running tasks).
+    - {b Kubernetes}: feasibility filter, then least-requested scoring
+      with deterministic tie-breaking on machine id.
+    - {b Mesos}: offer-based — the framework sees a (rotating) subset of
+      machines' offers and takes the first with a free slot.
+    - {b Sparrow}: batch sampling with late binding — probe [2 × d]
+      random machines, pick the least-queued probe; tasks may queue at
+      workers ({!selection} returning a busy machine models the
+      worker-side queue).
+    - {b Random}: uniformly random feasible machine (a floor).
+
+    Selection functions never place on dead machines. They return [None]
+    when the scheduler would keep the task waiting in its queue. *)
+
+type t = {
+  name : string;
+  select :
+    Cluster.State.t -> Cluster.Workload.task -> Cluster.Types.machine_id option;
+  worker_side_queue : bool;
+      (** Sparrow-style: may select a machine with no free slot, queueing
+          the task at that worker *)
+  per_task_overhead_s : float;
+      (** modeled scheduler processing time per task (queue-based
+          schedulers' algorithm runtime) *)
+}
+
+val swarmkit : unit -> t
+val kubernetes : unit -> t
+
+(** [mesos ~offer_fraction ()] sees offers from a rotating
+    [offer_fraction] of machines each decision. *)
+val mesos : ?offer_fraction:float -> unit -> t
+
+(** [sparrow ~probes ~seed ()] samples [probes] machines per task and
+    picks the one with the shortest worker queue (running + queued). *)
+val sparrow : ?probes:int -> ?seed:int -> unit -> t
+
+val random : ?seed:int -> unit -> t
+
+(** All five, in the order the paper's Fig. 19 legends list them. *)
+val all : ?seed:int -> unit -> t list

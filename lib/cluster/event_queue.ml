@@ -1,0 +1,70 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 16 None; size = 0; next_seq = 0 }
+let is_empty q = q.size = 0
+let length q = q.size
+
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let get q i = match q.heap.(i) with Some e -> e | None -> assert false
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if entry_lt (get q i) (get q p) then begin
+      swap q i p;
+      sift_up q p
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < q.size && entry_lt (get q l) (get q !m) then m := l;
+  if r < q.size && entry_lt (get q r) (get q !m) then m := r;
+  if !m <> i then begin
+    swap q i !m;
+    sift_down q !m
+  end
+
+let add q ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.add: NaN time";
+  if q.size = Array.length q.heap then begin
+    let h = Array.make (2 * q.size) None in
+    Array.blit q.heap 0 h 0 q.size;
+    q.heap <- h
+  end;
+  q.heap.(q.size) <- Some { time; seq = q.next_seq; payload };
+  q.next_seq <- q.next_seq + 1;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek_time q = if q.size = 0 then None else Some (get q 0).time
+
+let pop q =
+  if q.size = 0 then invalid_arg "Event_queue.pop: empty";
+  let e = get q 0 in
+  q.size <- q.size - 1;
+  q.heap.(0) <- q.heap.(q.size);
+  q.heap.(q.size) <- None;
+  if q.size > 0 then sift_down q 0;
+  (e.time, e.payload)
+
+let pop_until q time =
+  let rec go acc =
+    match peek_time q with
+    | Some t when t <= time -> go (pop q :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  go []

@@ -1,0 +1,24 @@
+(** Discrete-event simulation queue: a binary min-heap keyed by simulated
+    time, with FIFO tie-breaking so same-timestamp events preserve
+    insertion order (important for deterministic replay). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** [add q ~time ev] schedules [ev] at [time].
+    @raise Invalid_argument if [time] is NaN. *)
+val add : 'a t -> time:float -> 'a -> unit
+
+(** [peek_time q] is the earliest scheduled time, if any. *)
+val peek_time : 'a t -> float option
+
+(** [pop q] removes and returns the earliest [(time, event)].
+    @raise Invalid_argument on an empty queue. *)
+val pop : 'a t -> float * 'a
+
+(** [pop_until q time] removes all events scheduled at or before [time],
+    in order. *)
+val pop_until : 'a t -> float -> (float * 'a) list

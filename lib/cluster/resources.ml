@@ -1,0 +1,39 @@
+type t = { cpu_milli : int; ram_mb : int; disk_mb : int }
+
+let slot_equivalent = { cpu_milli = 1000; ram_mb = 4096; disk_mb = 50_000 }
+let zero = { cpu_milli = 0; ram_mb = 0; disk_mb = 0 }
+
+let make ?(cpu_milli = 0) ?(ram_mb = 0) ?(disk_mb = 0) () = { cpu_milli; ram_mb; disk_mb }
+
+let add a b =
+  {
+    cpu_milli = a.cpu_milli + b.cpu_milli;
+    ram_mb = a.ram_mb + b.ram_mb;
+    disk_mb = a.disk_mb + b.disk_mb;
+  }
+
+let sub a b =
+  {
+    cpu_milli = max 0 (a.cpu_milli - b.cpu_milli);
+    ram_mb = max 0 (a.ram_mb - b.ram_mb);
+    disk_mb = max 0 (a.disk_mb - b.disk_mb);
+  }
+
+let scale v n =
+  { cpu_milli = v.cpu_milli * n; ram_mb = v.ram_mb * n; disk_mb = v.disk_mb * n }
+
+let fits ~request ~available =
+  request.cpu_milli <= available.cpu_milli
+  && request.ram_mb <= available.ram_mb
+  && request.disk_mb <= available.disk_mb
+
+let dominant_share ~request ~capacity =
+  let frac r c = if c <= 0 then 0. else float_of_int r /. float_of_int c in
+  Float.max
+    (frac request.cpu_milli capacity.cpu_milli)
+    (Float.max (frac request.ram_mb capacity.ram_mb) (frac request.disk_mb capacity.disk_mb))
+
+let pp ppf v =
+  Format.fprintf ppf "{cpu %dm, ram %dMB, disk %dMB}" v.cpu_milli v.ram_mb v.disk_mb
+
+let equal a b = a = b

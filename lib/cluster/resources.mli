@@ -1,0 +1,40 @@
+(** Multi-dimensional resource vectors (paper §7.1).
+
+    Firmament supports multi-dimensional feasibility checking as in Borg
+    [35, §3.2]; the paper's evaluation uses slot-based assignment only for
+    comparability with Quincy. This module provides the vector type and
+    the feasibility arithmetic; {!State.fits_on} combines it with slot
+    accounting, and policies/baselines use it to filter placement
+    candidates. Slot-based scheduling falls out as the special case where
+    every task requests exactly {!slot_equivalent}. *)
+
+type t = {
+  cpu_milli : int;  (** milli-cores, Kubernetes-style *)
+  ram_mb : int;
+  disk_mb : int;
+}
+
+(** The nominal resources behind one task slot. *)
+val slot_equivalent : t
+
+val zero : t
+val make : ?cpu_milli:int -> ?ram_mb:int -> ?disk_mb:int -> unit -> t
+val add : t -> t -> t
+
+(** [sub a b] is component-wise subtraction, clamped at zero. *)
+val sub : t -> t -> t
+
+(** [scale v n] multiplies every dimension by [n]. *)
+val scale : t -> int -> t
+
+(** [fits ~request ~available] is true iff every dimension of [request]
+    is at most the corresponding dimension of [available]. *)
+val fits : request:t -> available:t -> bool
+
+(** [dominant_share ~request ~capacity] is the largest per-dimension
+    utilization fraction (the DRF "dominant share"); 0 for an empty
+    capacity. *)
+val dominant_share : request:t -> capacity:t -> float
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,51 @@
+type machine = {
+  id : Types.machine_id;
+  rack : Types.rack_id;
+  slots : int;
+  net_capacity_mbps : int;
+  capacity : Resources.t;
+}
+
+type t = {
+  machines : machine array;
+  racks : Types.machine_id list array;
+  slots_per_machine : int;
+}
+
+let make ~machines ~machines_per_rack ~slots_per_machine ?(net_capacity_mbps = 10_000)
+    ?(resources_per_slot = Resources.slot_equivalent) () =
+  if machines <= 0 || machines_per_rack <= 0 || slots_per_machine <= 0 then
+    invalid_arg "Topology.make: non-positive parameter";
+  let rack_count = (machines + machines_per_rack - 1) / machines_per_rack in
+  let capacity = Resources.scale resources_per_slot slots_per_machine in
+  let ms =
+    Array.init machines (fun id ->
+        {
+          id;
+          rack = id / machines_per_rack;
+          slots = slots_per_machine;
+          net_capacity_mbps;
+          capacity;
+        })
+  in
+  let racks = Array.make rack_count [] in
+  Array.iter (fun m -> racks.(m.rack) <- m.id :: racks.(m.rack)) ms;
+  Array.iteri (fun i l -> racks.(i) <- List.rev l) racks;
+  { machines = ms; racks; slots_per_machine }
+
+let machine_count t = Array.length t.machines
+let rack_count t = Array.length t.racks
+
+let machine t id =
+  if id < 0 || id >= Array.length t.machines then invalid_arg "Topology.machine: bad id";
+  t.machines.(id)
+
+let rack_of t id = (machine t id).rack
+
+let machines_in_rack t r =
+  if r < 0 || r >= Array.length t.racks then invalid_arg "Topology.machines_in_rack: bad rack";
+  t.racks.(r)
+
+let iter_machines t f = Array.iter f t.machines
+let total_slots t = Array.fold_left (fun acc m -> acc + m.slots) 0 t.machines
+let slots_per_machine t = t.slots_per_machine

@@ -1,0 +1,43 @@
+(** Cluster topology: machines grouped into racks, with slot counts and
+    network capacities. Mirrors the testbed and simulated clusters of the
+    paper (§7.1): homogeneous machines, rack-structured, slot-based
+    assignment for comparability with Quincy. *)
+
+type machine = {
+  id : Types.machine_id;
+  rack : Types.rack_id;
+  slots : int;  (** schedulable task slots (paper uses slot-based assignment) *)
+  net_capacity_mbps : int;  (** NIC capacity, used by the network-aware policy *)
+  capacity : Resources.t;
+      (** multi-dimensional capacity; defaults to [slots] slot-equivalents,
+          making the resource check coincide with the slot check unless
+          heterogeneous capacities or requests are configured *)
+}
+
+type t
+
+(** [make ~machines ~machines_per_rack ~slots_per_machine ()] builds a
+    homogeneous topology. [net_capacity_mbps] defaults to 10,000 (the 10G
+    testbed NICs). @raise Invalid_argument on non-positive parameters. *)
+val make :
+  machines:int ->
+  machines_per_rack:int ->
+  slots_per_machine:int ->
+  ?net_capacity_mbps:int ->
+  ?resources_per_slot:Resources.t ->
+  unit ->
+  t
+
+val machine_count : t -> int
+val rack_count : t -> int
+val machine : t -> Types.machine_id -> machine
+
+(** [rack_of t m] is the rack housing machine [m]. *)
+val rack_of : t -> Types.machine_id -> Types.rack_id
+
+(** [machines_in_rack t r] lists machine ids in rack [r]. *)
+val machines_in_rack : t -> Types.rack_id -> Types.machine_id list
+
+val iter_machines : t -> (machine -> unit) -> unit
+val total_slots : t -> int
+val slots_per_machine : t -> int

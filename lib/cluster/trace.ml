@@ -1,0 +1,232 @@
+type params = {
+  machines : int;
+  machines_per_rack : int;
+  slots_per_machine : int;
+  target_utilization : float;
+  service_slot_fraction : float;
+  batch_task_median_s : float;
+  speedup : float;
+  horizon_s : float;
+  locality_replicas : int;
+  machine_mtbf_s : float;
+  machine_downtime_s : float;
+  seed : int;
+}
+
+let default_params ~machines () =
+  {
+    machines;
+    machines_per_rack = 40;
+    slots_per_machine = 12;
+    target_utilization = 0.5;
+    service_slot_fraction = 0.4;
+    batch_task_median_s = 120.;
+    speedup = 1.;
+    horizon_s = 600.;
+    locality_replicas = 3;
+    machine_mtbf_s = infinity;
+    machine_downtime_s = 30.;
+    seed = 42;
+  }
+
+type machine_event = Machine_fails of Types.machine_id | Machine_restores of Types.machine_id
+
+type t = {
+  topology : Topology.t;
+  initial_jobs : Workload.job list;
+  arrivals : (float * Workload.job) list;
+  machine_events : (float * machine_event) list;
+  params : params;
+}
+
+(* {1 Distributions} *)
+
+let lognormal rng ~median ~sigma =
+  let u1 = Random.State.float rng 1. and u2 = Random.State.float rng 1. in
+  let z = sqrt (-2. *. log (max 1e-12 u1)) *. cos (2. *. Float.pi *. u2) in
+  median *. exp (sigma *. z)
+
+let exponential rng ~mean = -.mean *. log (max 1e-12 (Random.State.float rng 1.))
+
+(* Log-uniform integer in [lo, hi]. *)
+let log_uniform rng lo hi =
+  let llo = log (float_of_int lo) and lhi = log (float_of_int hi) in
+  let v = exp (llo +. Random.State.float rng (lhi -. llo)) in
+  max lo (min hi (int_of_float v))
+
+(* Heavy-tailed job sizes: ~1.2 % of jobs exceed 1,000 tasks (paper §4.3),
+   with a tail reaching beyond 20,000. *)
+let job_size rng =
+  let u = Random.State.float rng 1. in
+  if u < 0.50 then 1
+  else if u < 0.80 then 2 + Random.State.int rng 9
+  else if u < 0.95 then log_uniform rng 11 100
+  else if u < 0.988 then log_uniform rng 101 1000
+  else log_uniform rng 1001 24_000
+
+let job_size_sample ~seed n =
+  let rng = Random.State.make [| seed |] in
+  Array.init n (fun _ -> job_size rng)
+
+(* Mean of the job-size mixture, used to calibrate the arrival rate.
+   Estimated empirically once; memoized per process. *)
+let mean_job_size =
+  lazy
+    (let sizes = job_size_sample ~seed:1234 20_000 in
+     float_of_int (Array.fold_left ( + ) 0 sizes) /. float_of_int (Array.length sizes))
+
+let batch_sigma = 1.4
+
+(* Mean duration of the clamped batch-duration distribution, estimated
+   empirically for rate calibration. *)
+let batch_duration rng ~median =
+  Float.max 1. (Float.min (4. *. 3600.) (lognormal rng ~median ~sigma:batch_sigma))
+
+let mean_batch_duration ~median =
+  let rng = Random.State.make [| 999 |] in
+  let n = 20_000 in
+  let s = ref 0. in
+  for _ = 1 to n do
+    s := !s +. batch_duration rng ~median
+  done;
+  !s /. float_of_int n
+
+(* Batch input size from runtime, following the paper's methodology [8]:
+   longer tasks read more, with lognormal spread. *)
+let input_mb_of_duration rng d =
+  Float.max 10. (Float.min 100_000. (d *. 5. *. lognormal rng ~median:1.0 ~sigma:0.5))
+
+let net_demand_of rng input_mb duration =
+  let mbps = input_mb *. 8. /. Float.max 1. duration in
+  max 50 (min 2000 (int_of_float (mbps *. lognormal rng ~median:1.0 ~sigma:0.3)))
+
+let random_machines rng ~machines ~k =
+  let rec pick acc n =
+    if n = 0 then acc
+    else begin
+      let m = Random.State.int rng machines in
+      if List.mem m acc then pick acc n else pick (m :: acc) (n - 1)
+    end
+  in
+  pick [] (min k machines)
+
+(* HDFS-style block placement: the input is split into 256 MB blocks; each
+   lands on one of [replicas] "home" machines (writer affinity) half the
+   time, on a uniformly random machine otherwise. Per-machine locality
+   fractions therefore range from ~1/blocks (scattered) up to ~50 %
+   (concentrated) — which is what makes the preference-arc threshold of
+   the Quincy policy meaningful (paper Fig. 15). *)
+let block_placements rng ~machines ~replicas ~input_mb =
+  let blocks = max 1 (min 40 (int_of_float (input_mb /. 64.))) in
+  let homes = Array.of_list (random_machines rng ~machines ~k:(max 1 replicas)) in
+  List.init blocks (fun _ ->
+      if Random.State.bool rng then homes.(Random.State.int rng (Array.length homes))
+      else Random.State.int rng machines)
+
+let steady_state_tasks p =
+  int_of_float
+    (p.target_utilization
+    *. float_of_int (p.machines * p.slots_per_machine))
+
+(* {1 Generation} *)
+
+let generate p =
+  if p.machines <= 0 then invalid_arg "Trace.generate: machines <= 0";
+  if p.target_utilization < 0. || p.target_utilization > 1.2 then
+    invalid_arg "Trace.generate: utilization out of range";
+  let rng = Random.State.make [| p.seed |] in
+  let topology =
+    Topology.make ~machines:p.machines ~machines_per_rack:p.machines_per_rack
+      ~slots_per_machine:p.slots_per_machine ()
+  in
+  let next_task = ref 0 in
+  let next_job = ref 0 in
+  let fresh_task ~job ~submit_time ~duration =
+    let tid = !next_task in
+    incr next_task;
+    let input_mb = input_mb_of_duration rng duration in
+    Workload.make_task ~tid ~job ~submit_time ~duration ~input_mb
+      ~input_machines:
+        (block_placements rng ~machines:p.machines ~replicas:p.locality_replicas ~input_mb)
+      ~net_demand_mbps:(net_demand_of rng input_mb duration)
+      ()
+  in
+  let median = p.batch_task_median_s /. p.speedup in
+  let fresh_job ~klass ~submit_time ~n_tasks ~duration_of =
+    let jid = !next_job in
+    incr next_job;
+    let tasks = Array.init n_tasks (fun _ -> fresh_task ~job:jid ~submit_time ~duration:(duration_of ())) in
+    Workload.make_job ~jid ~klass ~submit_time ~tasks
+  in
+  (* Initial steady state: service jobs holding a block of slots with very
+     long durations, then batch jobs with residual durations filling the
+     remainder of the utilization target. *)
+  let total_slots = Topology.total_slots topology in
+  let occupied_target = int_of_float (p.target_utilization *. float_of_int total_slots) in
+  let service_target =
+    int_of_float (p.service_slot_fraction *. float_of_int occupied_target)
+  in
+  let initial = ref [] in
+  let service_placed = ref 0 in
+  while !service_placed < service_target do
+    let n = min (service_target - !service_placed) (5 + Random.State.int rng 200) in
+    let duration_of () = 86_400. *. (1. +. Random.State.float rng 30.) in
+    initial := fresh_job ~klass:Types.Service ~submit_time:0. ~n_tasks:n ~duration_of :: !initial;
+    service_placed := !service_placed + n
+  done;
+  let batch_placed = ref 0 in
+  let batch_target = occupied_target - service_target in
+  while !batch_placed < batch_target do
+    let n = min (batch_target - !batch_placed) (job_size rng) in
+    (* Residual duration of an in-flight task is a fresh draw (memoryless
+       enough for our purposes). *)
+    let duration_of () = batch_duration rng ~median in
+    initial := fresh_job ~klass:Types.Batch ~submit_time:0. ~n_tasks:n ~duration_of :: !initial;
+    batch_placed := !batch_placed + n
+  done;
+  (* Arrival stream: Poisson job arrivals at the rate that sustains the
+     batch share of the utilization target. *)
+  let mean_dur = mean_batch_duration ~median in
+  let task_rate = float_of_int batch_target /. mean_dur in
+  let job_rate = task_rate /. Lazy.force mean_job_size in
+  let arrivals = ref [] in
+  let t = ref 0. in
+  if job_rate > 0. then begin
+    let continue = ref true in
+    while !continue do
+      t := !t +. exponential rng ~mean:(1. /. job_rate);
+      if !t > p.horizon_s then continue := false
+      else begin
+        let n = job_size rng in
+        let duration_of () = batch_duration rng ~median in
+        arrivals :=
+          (!t, fresh_job ~klass:Types.Batch ~submit_time:!t ~n_tasks:n ~duration_of) :: !arrivals
+      end
+    done
+  end;
+  (* Failure injection: cluster-wide Poisson failures; each victim comes
+     back after the configured downtime. *)
+  let machine_events =
+    if p.machine_mtbf_s = infinity then []
+    else begin
+      let evs = ref [] in
+      let t = ref 0. in
+      let continue = ref true in
+      while !continue do
+        t := !t +. exponential rng ~mean:p.machine_mtbf_s;
+        if !t > p.horizon_s then continue := false
+        else begin
+          let m = Random.State.int rng p.machines in
+          evs := (!t +. p.machine_downtime_s, Machine_restores m) :: (!t, Machine_fails m) :: !evs
+        end
+      done;
+      List.sort (fun (a, _) (b, _) -> compare a b) !evs
+    end
+  in
+  {
+    topology;
+    initial_jobs = List.rev !initial;
+    arrivals = List.rev !arrivals;
+    machine_events;
+    params = p;
+  }

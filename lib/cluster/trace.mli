@@ -1,0 +1,67 @@
+(** Synthetic Google-like workload traces.
+
+    Stand-in for the public Google cluster trace [30] used throughout the
+    paper's simulations. The generator is calibrated to the published
+    statistics the experiments depend on:
+
+    - ≈150,000 live tasks in ≈1,800 jobs at steady state on 12,500
+      machines (paper fn. 2) — scaled proportionally with cluster size,
+      like the paper's subsampled traces;
+    - heavy-tailed job sizes with ≈1.2 % of jobs exceeding 1,000 tasks and
+      a maximum above 20,000 (§4.3);
+    - batch/service split via Omega-style priority classification, with
+      long-running service jobs holding a large share of slots and batch
+      jobs providing the churn;
+    - batch input sizes estimated from runtimes (paper methodology [8]),
+      placed as replicated blocks on random machines to drive the Quincy
+      policy's locality preference arcs;
+    - per-task network-bandwidth requests for the network-aware policy.
+
+    Everything is deterministic given [seed]. The [speedup] parameter
+    divides durations and interarrival times (paper Fig. 18). *)
+
+type params = {
+  machines : int;
+  machines_per_rack : int;
+  slots_per_machine : int;
+  target_utilization : float;  (** steady-state fraction of slots occupied *)
+  service_slot_fraction : float;
+      (** share of the occupied slots held by long-running service jobs *)
+  batch_task_median_s : float;
+  speedup : float;
+  horizon_s : float;  (** length of the generated arrival stream, after speedup *)
+  locality_replicas : int;  (** machines holding each task's input *)
+  machine_mtbf_s : float;
+      (** mean time between machine failures across the whole cluster;
+          [infinity] (the default) disables failure injection. Failed
+          machines restore after {!field-machine_downtime_s}. *)
+  machine_downtime_s : float;
+  seed : int;
+}
+
+(** Defaults modelled on the paper's setup: 40 machines/rack, 12
+    slots/machine, 50 % utilization, median batch task of 120 s. *)
+val default_params : machines:int -> unit -> params
+
+(** A machine going down (tasks rescheduled) or coming back. *)
+type machine_event = Machine_fails of Types.machine_id | Machine_restores of Types.machine_id
+
+type t = {
+  topology : Topology.t;
+  initial_jobs : Workload.job list;
+      (** jobs already in the cluster at time 0 (steady state), with
+          residual durations; the replay engine places them first *)
+  arrivals : (float * Workload.job) list;  (** time-ordered submission stream *)
+  machine_events : (float * machine_event) list;  (** time-ordered failures/restores *)
+  params : params;
+}
+
+val generate : params -> t
+
+(** [steady_state_tasks p] is the expected number of concurrently live
+    tasks implied by [p] (for sanity checks and reporting). *)
+val steady_state_tasks : params -> int
+
+(** [job_size_sample ~seed n] draws [n] job sizes from the heavy-tailed
+    size distribution (exposed for tests and the Fig. 9 experiment). *)
+val job_size_sample : seed:int -> int -> int array

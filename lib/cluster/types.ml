@@ -1,0 +1,28 @@
+(** Shared identifiers and basic enumerations for the cluster substrate. *)
+
+type task_id = int
+type job_id = int
+type machine_id = int
+type rack_id = int
+
+(** Job classification, following Omega's priority-based scheme [32, §2.1]
+    as the paper does: service jobs are long-running and take priority;
+    batch jobs dominate counts. *)
+type job_class = Batch | Service
+
+let pp_job_class ppf c =
+  Format.pp_print_string ppf (match c with Batch -> "batch" | Service -> "service")
+
+(** Lifecycle of a task (paper Fig. 1): submitted, waiting to be placed,
+    running on a machine, and eventually completed (or failed/evicted). *)
+type task_state =
+  | Waiting
+  | Running of { machine : machine_id; started_at : float }
+  | Finished of { response_time : float }
+  | Failed
+
+let pp_task_state ppf = function
+  | Waiting -> Format.pp_print_string ppf "waiting"
+  | Running { machine; _ } -> Format.fprintf ppf "running@%d" machine
+  | Finished { response_time } -> Format.fprintf ppf "finished(%.3fs)" response_time
+  | Failed -> Format.pp_print_string ppf "failed"

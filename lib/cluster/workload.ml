@@ -1,0 +1,71 @@
+type task = {
+  tid : Types.task_id;
+  job : Types.job_id;
+  submit_time : float;
+  duration : float;
+  input_mb : float;
+  input_machines : Types.machine_id list;
+  net_demand_mbps : int;
+  request : Resources.t;
+  mutable state : Types.task_state;
+  mutable placement_latency : float;
+}
+
+type job = {
+  jid : Types.job_id;
+  klass : Types.job_class;
+  job_submit_time : float;
+  tasks : task array;
+}
+
+let make_task ~tid ~job ~submit_time ~duration ?(input_mb = 0.) ?(input_machines = [])
+    ?(net_demand_mbps = 0) ?(request = Resources.slot_equivalent) () =
+  {
+    tid;
+    job;
+    submit_time;
+    duration;
+    input_mb;
+    input_machines;
+    net_demand_mbps;
+    request;
+    state = Types.Waiting;
+    placement_latency = -1.;
+  }
+
+let make_job ~jid ~klass ~submit_time ~tasks = { jid; klass; job_submit_time = submit_time; tasks }
+
+let clone_job j =
+  {
+    j with
+    tasks =
+      Array.map
+        (fun t -> { t with state = Types.Waiting; placement_latency = -1. })
+        j.tasks;
+  }
+
+let is_waiting t = t.state = Types.Waiting
+let is_running t = match t.state with Types.Running _ -> true | _ -> false
+
+let machine_of t =
+  match t.state with Types.Running { machine; _ } -> Some machine | _ -> None
+
+let start t ~machine ~now =
+  (match t.state with
+  | Types.Waiting -> ()
+  | s ->
+      invalid_arg
+        (Format.asprintf "Workload.start: task %d is %a" t.tid Types.pp_task_state s));
+  if t.placement_latency < 0. then t.placement_latency <- now -. t.submit_time;
+  t.state <- Types.Running { machine; started_at = now }
+
+let preempt t =
+  match t.state with
+  | Types.Running _ -> t.state <- Types.Waiting
+  | Types.Waiting | Types.Finished _ | Types.Failed ->
+      invalid_arg "Workload.preempt: task not running"
+
+let finish t ~now =
+  match t.state with
+  | Types.Running _ -> t.state <- Types.Finished { response_time = now -. t.submit_time }
+  | _ -> invalid_arg "Workload.finish: task not running"

@@ -1,0 +1,72 @@
+(** Jobs and tasks, with the lifecycle of paper Fig. 1.
+
+    Tasks carry the attributes the scheduling policies consume: locality
+    preferences (machines/racks storing their input, for the Quincy
+    policy), input sizes (estimated from runtime as in the paper's
+    methodology), and network-bandwidth requests (for the network-aware
+    policy). *)
+
+type task = {
+  tid : Types.task_id;
+  job : Types.job_id;
+  submit_time : float;
+  duration : float;  (** execution time once started, seconds *)
+  input_mb : float;
+  input_machines : Types.machine_id list;
+      (** machines storing this task's input blocks (locality preferences) *)
+  net_demand_mbps : int;  (** bandwidth request for the network-aware policy *)
+  request : Resources.t;
+      (** multi-dimensional resource request (defaults to one
+          slot-equivalent, reducing to the paper's slot model) *)
+  mutable state : Types.task_state;
+  mutable placement_latency : float;  (** filled at first placement; -1 before *)
+}
+
+type job = {
+  jid : Types.job_id;
+  klass : Types.job_class;
+  job_submit_time : float;
+  tasks : task array;
+}
+
+(** [make_task ~tid ~job ~submit_time ~duration ()] builds a waiting task;
+    optional attributes default to no locality, zero input and no network
+    demand. *)
+val make_task :
+  tid:Types.task_id ->
+  job:Types.job_id ->
+  submit_time:float ->
+  duration:float ->
+  ?input_mb:float ->
+  ?input_machines:Types.machine_id list ->
+  ?net_demand_mbps:int ->
+  ?request:Resources.t ->
+  unit ->
+  task
+
+val make_job :
+  jid:Types.job_id ->
+  klass:Types.job_class ->
+  submit_time:float ->
+  tasks:task array ->
+  job
+
+(** [clone_job j] is a deep copy with every task reset to [Waiting];
+    simulation engines clone at intake so one workload description can be
+    replayed under several schedulers (tasks are mutable). *)
+val clone_job : job -> job
+
+val is_waiting : task -> bool
+val is_running : task -> bool
+val machine_of : task -> Types.machine_id option
+
+(** [start task ~machine ~now] transitions to Running and records the
+    placement latency on first start.
+    @raise Invalid_argument if the task is already running or finished. *)
+val start : task -> machine:Types.machine_id -> now:float -> unit
+
+(** [preempt task] returns a running task to the waiting state. *)
+val preempt : task -> unit
+
+(** [finish task ~now] marks completion and records the response time. *)
+val finish : task -> now:float -> unit

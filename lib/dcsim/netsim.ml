@@ -1,0 +1,230 @@
+type priority = High | Low
+
+type flow = {
+  id : int;
+  src : Cluster.Types.machine_id option;
+  dst : Cluster.Types.machine_id;
+  priority : priority;
+  demand_mbps : float;  (** rate cap; infinity for transfers *)
+  mutable remaining_mb : float;  (** infinity for background flows *)
+  task : Cluster.Types.task_id option;
+  mutable rate : float;  (** current allocation, Mbps *)
+}
+
+type t = {
+  topo : Cluster.Topology.t;
+  flows : (int, flow) Hashtbl.t;
+  mutable clock : float;
+  mutable next_id : int;
+}
+
+let create topo = { topo; flows = Hashtbl.create 64; clock = 0.; next_id = 0 }
+let now t = t.clock
+
+(* Links are machine NIC directions: egress 2m, ingress 2m+1. *)
+let egress m = 2 * m
+let ingress m = (2 * m) + 1
+
+let links_of f =
+  match f.src with
+  | Some s -> [ egress s; ingress f.dst ]
+  | None -> [ ingress f.dst ]
+
+let nic_mbps t m =
+  float_of_int (Cluster.Topology.machine t.topo m).Cluster.Topology.net_capacity_mbps
+
+(* Progressive-filling max-min for one class against residual capacities.
+   Mutates [residual] and sets each flow's [rate]. *)
+let max_min t residual flows =
+  ignore t;
+  let active = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      f.rate <- 0.;
+      Hashtbl.replace active f.id f)
+    flows;
+  let eps = 1e-9 in
+  let guard = ref 0 in
+  while Hashtbl.length active > 0 && !guard < 10_000 do
+    incr guard;
+    (* Per-link active counts. *)
+    let counts = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun _ f ->
+        List.iter
+          (fun l -> Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+          (links_of f))
+      active;
+    (* Smallest feasible uniform increment: link fair shares and remaining
+       demand headroom. *)
+    let step = ref infinity in
+    Hashtbl.iter
+      (fun l c ->
+        let r = Option.value ~default:0. (Hashtbl.find_opt residual l) in
+        step := Float.min !step (r /. float_of_int c))
+      counts;
+    Hashtbl.iter (fun _ f -> step := Float.min !step (f.demand_mbps -. f.rate)) active;
+    if !step <= eps then begin
+      (* Freeze everything touching a saturated link or at demand. *)
+      let frozen = ref [] in
+      Hashtbl.iter
+        (fun id f ->
+          let saturated =
+            List.exists
+              (fun l -> Option.value ~default:0. (Hashtbl.find_opt residual l) <= eps)
+              (links_of f)
+          in
+          if saturated || f.rate >= f.demand_mbps -. eps then frozen := id :: !frozen)
+        active;
+      if !frozen = [] then
+        (* No saturation and no demand bound: numerical corner; stop. *)
+        Hashtbl.reset active
+      else List.iter (fun id -> Hashtbl.remove active id) !frozen
+    end
+    else begin
+      let s = !step in
+      Hashtbl.iter
+        (fun _ f ->
+          f.rate <- f.rate +. s;
+          List.iter
+            (fun l ->
+              Hashtbl.replace residual l
+                (Option.value ~default:0. (Hashtbl.find_opt residual l) -. s))
+            (links_of f))
+        active;
+      (* Freeze flows that hit a bound. *)
+      let frozen = ref [] in
+      Hashtbl.iter
+        (fun id f ->
+          let saturated =
+            List.exists
+              (fun l -> Option.value ~default:0. (Hashtbl.find_opt residual l) <= eps)
+              (links_of f)
+          in
+          if saturated || f.rate >= f.demand_mbps -. eps then frozen := id :: !frozen)
+        active;
+      List.iter (fun id -> Hashtbl.remove active id) !frozen
+    end
+  done
+
+let recompute t =
+  let residual = Hashtbl.create 32 in
+  Cluster.Topology.iter_machines t.topo (fun m ->
+      let id = m.Cluster.Topology.id in
+      Hashtbl.replace residual (egress id) (nic_mbps t id);
+      Hashtbl.replace residual (ingress id) (nic_mbps t id));
+  let high = ref [] and low = ref [] in
+  Hashtbl.iter
+    (fun _ f -> match f.priority with High -> high := f :: !high | Low -> low := f :: !low)
+    t.flows;
+  max_min t residual !high;
+  max_min t residual !low
+
+(* Progress all transfers from t.clock to [upto] at current rates. *)
+let progress t upto =
+  let dt = upto -. t.clock in
+  if dt > 0. then
+    Hashtbl.iter
+      (fun _ f ->
+        if f.remaining_mb < infinity then
+          f.remaining_mb <- Float.max 0. (f.remaining_mb -. (f.rate /. 8. *. dt)))
+      t.flows;
+  t.clock <- upto
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let add_background t ?src ~dst ~mbps () =
+  let id = fresh_id t in
+  Hashtbl.replace t.flows id
+    {
+      id;
+      src;
+      dst;
+      priority = High;
+      demand_mbps = mbps;
+      remaining_mb = infinity;
+      task = None;
+      rate = 0.;
+    };
+  recompute t;
+  id
+
+let start_transfer t ?src ~dst ~mb ~task () =
+  let id = fresh_id t in
+  Hashtbl.replace t.flows id
+    {
+      id;
+      src;
+      dst;
+      priority = Low;
+      demand_mbps = infinity;
+      remaining_mb = Float.max 0.001 mb;
+      task = Some task;
+      rate = 0.;
+    };
+  recompute t;
+  id
+
+let remove_flow t id =
+  if Hashtbl.mem t.flows id then begin
+    Hashtbl.remove t.flows id;
+    recompute t
+  end
+
+let cancel_task_transfers t task =
+  let stale =
+    Hashtbl.fold (fun id f acc -> if f.task = Some task then id :: acc else acc) t.flows []
+  in
+  List.iter (fun id -> Hashtbl.remove t.flows id) stale;
+  if stale <> [] then recompute t
+
+let next_completion_time t =
+  Hashtbl.fold
+    (fun _ f acc ->
+      if f.remaining_mb < infinity && f.rate > 1e-9 then begin
+        let eta = t.clock +. (f.remaining_mb *. 8. /. f.rate) in
+        match acc with Some b when b <= eta -> acc | _ -> Some eta
+      end
+      else acc)
+    t.flows None
+
+let advance t upto =
+  if upto < t.clock -. 1e-9 then invalid_arg "Netsim.advance: time going backwards";
+  let completed = ref [] in
+  let rec step () =
+    match next_completion_time t with
+    | Some eta when eta <= upto ->
+        progress t eta;
+        (* Complete every transfer that just drained. *)
+        let done_flows =
+          Hashtbl.fold
+            (fun id f acc -> if f.remaining_mb <= 1e-6 then (id, f.task) :: acc else acc)
+            t.flows []
+        in
+        List.iter
+          (fun (id, task) ->
+            Hashtbl.remove t.flows id;
+            match task with
+            | Some tk -> completed := (t.clock, tk) :: !completed
+            | None -> ())
+          done_flows;
+        recompute t;
+        step ()
+    | Some _ | None -> progress t upto
+  in
+  step ();
+  List.rev !completed
+
+let used_mbps t m =
+  let total = ref 0. in
+  Hashtbl.iter
+    (fun _ f ->
+      if f.dst = m then total := !total +. f.rate;
+      match f.src with Some s when s = m -> total := !total +. f.rate | _ -> ())
+    t.flows;
+  int_of_float !total
+
+let active_flows t = Hashtbl.length t.flows

@@ -1,0 +1,60 @@
+(** Flow-level network simulator: the stand-in for the paper's 40-machine
+    10 G testbed (§7.5).
+
+    Models each machine's NIC as a full-duplex link (ingress and egress
+    capacity) on a full-bisection fabric — the testbed's topology — and
+    shares bandwidth between active flows by {e max-min fairness} via
+    progressive filling, with two service classes: [`High] flows (the
+    experiment's iperf-style background load, which the paper runs in a
+    higher-priority network service class) are allocated first, and
+    [`Low] flows (batch tasks' input transfers) share the residual.
+
+    Advancing simulated time progresses transfers at their current rates,
+    recomputing the allocation whenever a flow starts or finishes. The
+    per-machine observed bandwidth ({!used_mbps}) is what the
+    network-aware policy's monitoring callback reports. *)
+
+type t
+
+val create : Cluster.Topology.t -> t
+
+(** Current simulated time (starts at 0). *)
+val now : t -> float
+
+(** [add_background t ?src ~dst ~mbps ()] starts a persistent high-priority
+    flow ([src = None] models traffic from outside the cluster). Returns a
+    flow id for {!remove_flow}. *)
+val add_background :
+  t -> ?src:Cluster.Types.machine_id -> dst:Cluster.Types.machine_id -> mbps:float -> unit -> int
+
+val remove_flow : t -> int -> unit
+
+(** [start_transfer t ?src ~dst ~mb ~task ()] starts a low-priority input
+    transfer of [mb] megabytes for [task]. *)
+val start_transfer :
+  t ->
+  ?src:Cluster.Types.machine_id ->
+  dst:Cluster.Types.machine_id ->
+  mb:float ->
+  task:Cluster.Types.task_id ->
+  unit ->
+  int
+
+(** [cancel_task_transfers t task] drops all of [task]'s transfers (task
+    preempted or migrated). *)
+val cancel_task_transfers : t -> Cluster.Types.task_id -> unit
+
+(** Earliest absolute time at which some transfer completes at current
+    rates, if any transfer is active. *)
+val next_completion_time : t -> float option
+
+(** [advance t time] moves simulated time forward, completing transfers on
+    the way; returns [(completion_time, task)] pairs in order.
+    @raise Invalid_argument if [time] is in the past. *)
+val advance : t -> float -> (float * Cluster.Types.task_id) list
+
+(** Observed bandwidth (ingress + egress) at a machine, in Mbps. *)
+val used_mbps : t -> Cluster.Types.machine_id -> int
+
+(** Number of active flows (all classes). *)
+val active_flows : t -> int

@@ -1,0 +1,215 @@
+module W = Cluster.Workload
+
+type config = {
+  scheduler : Firmament.Scheduler.config;
+  policy :
+    drain:bool -> Firmament.Flow_network.t -> Cluster.State.t -> Firmament.Policy.t;
+  solver_time : [ `Measured | `Fixed of float ];
+  max_sim_time : float option;
+  max_rounds : int option;
+}
+
+let default_config =
+  {
+    scheduler = Firmament.Scheduler.default_config;
+    policy = (fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st);
+    solver_time = `Measured;
+    max_sim_time = None;
+    max_rounds = None;
+  }
+
+type metrics = {
+  placement_latencies : float list;
+  response_times : float list;
+  job_response_times : float list;
+  algorithm_runtimes : float list;
+  runtime_timeline : (float * float) list;
+  rounds : int;
+  sim_end : float;
+  tasks_placed : int;
+  preemptions : int;
+  migrations : int;
+  unfinished_waiting : int;
+}
+
+type event =
+  | Job_submit of W.job
+  | Task_finish of Cluster.Types.task_id * int  (* epoch *)
+  | Machine_event of Cluster.Trace.machine_event
+
+let run_with ?(config = default_config) ~trace ~on_round () =
+  let cluster = Cluster.State.create trace.Cluster.Trace.topology in
+  let sched =
+    Firmament.Scheduler.create ~config:config.scheduler cluster ~policy:config.policy
+  in
+  let events = Cluster.Event_queue.create () in
+  (* Clone at intake: traces are reusable descriptions, tasks are mutable. *)
+  List.iter
+    (fun (t, job) -> Cluster.Event_queue.add events ~time:t (Job_submit (W.clone_job job)))
+    trace.Cluster.Trace.arrivals;
+  List.iter
+    (fun (t, ev) -> Cluster.Event_queue.add events ~time:t (Machine_event ev))
+    trace.Cluster.Trace.machine_events;
+  (* Epochs invalidate completion events of preempted/migrated tasks. *)
+  let epochs : (Cluster.Types.task_id, int) Hashtbl.t = Hashtbl.create 1024 in
+  let epoch tid = Option.value ~default:0 (Hashtbl.find_opt epochs tid) in
+  let bump tid = Hashtbl.replace epochs tid (epoch tid + 1) in
+  (* Metrics accumulators. *)
+  let placement_latencies = ref [] in
+  let algorithm_runtimes = ref [] in
+  let timeline = ref [] in
+  let rounds = ref 0 in
+  let tasks_placed = ref 0 in
+  let preemptions = ref 0 in
+  let migrations = ref 0 in
+  let sim = ref 0. in
+  (* Initial jobs model tasks already running at time zero: place them in
+     unmetered warm-up rounds (the paper's simulator starts from a
+     populated snapshot), only scheduling their completions. *)
+  List.iter
+    (fun job -> Firmament.Scheduler.submit_job sched (W.clone_job job))
+    trace.Cluster.Trace.initial_jobs;
+  let rec warmup i =
+    if i < 10 && Cluster.State.waiting_count cluster > 0 then begin
+      let round = Firmament.Scheduler.schedule sched ~now:0. in
+      List.iter
+        (fun (tid, _m) ->
+          Hashtbl.replace epochs tid 1;
+          let task = Cluster.State.task cluster tid in
+          Cluster.Event_queue.add events ~time:task.W.duration (Task_finish (tid, 1)))
+        round.Firmament.Scheduler.started;
+      if round.Firmament.Scheduler.started <> [] then warmup (i + 1)
+    end
+  in
+  warmup 0;
+  let apply (time, ev) =
+    match ev with
+    | Job_submit job ->
+        Firmament.Scheduler.submit_job sched job;
+        true
+    | Task_finish (tid, e) ->
+        let task = Cluster.State.task cluster tid in
+        if e = epoch tid && W.is_running task then begin
+          Firmament.Scheduler.finish_task sched tid ~now:time;
+          true
+        end
+        else false
+    | Machine_event (Cluster.Trace.Machine_fails m) ->
+        if Cluster.State.machine_is_live cluster m then begin
+          (* Victims return to the wait queue; their completions are
+             invalidated here by bumping epochs below in the caller. *)
+          let victims = ref [] in
+          List.iter (fun tid -> victims := tid :: !victims)
+            (Cluster.State.running_tasks_on cluster m);
+          Firmament.Scheduler.fail_machine sched m;
+          List.iter (fun tid -> bump tid) !victims;
+          true
+        end
+        else false
+    | Machine_event (Cluster.Trace.Machine_restores m) ->
+        if not (Cluster.State.machine_is_live cluster m) then begin
+          Firmament.Scheduler.restore_machine sched m;
+          true
+        end
+        else false
+  in
+  let schedule_finish tid ~start =
+    let task = Cluster.State.task cluster tid in
+    Cluster.Event_queue.add events
+      ~time:(start +. task.W.duration)
+      (Task_finish (tid, epoch tid))
+  in
+  let out_of_budget () =
+    (match config.max_sim_time with Some m when !sim >= m -> true | _ -> false)
+    || match config.max_rounds with Some m when !rounds >= m -> true | _ -> false
+  in
+  let running = ref true in
+  let needs_round = ref true in
+  while !running && not (out_of_budget ()) do
+    let evs = Cluster.Event_queue.pop_until events !sim in
+    let changed = List.fold_left (fun acc ev -> apply ev || acc) false evs in
+    if changed then needs_round := true;
+    if !needs_round || Cluster.State.waiting_count cluster > 0 then begin
+      let round = Firmament.Scheduler.schedule sched ~now:!sim in
+      incr rounds;
+      let runtime =
+        match config.solver_time with
+        | `Measured -> round.Firmament.Scheduler.algorithm_runtime
+        | `Fixed f -> f
+      in
+      sim := !sim +. runtime;
+      algorithm_runtimes := runtime :: !algorithm_runtimes;
+      timeline := (!sim, runtime) :: !timeline;
+      on_round ~sim:!sim round;
+      List.iter
+        (fun (tid, _m) ->
+          let task = Cluster.State.task cluster tid in
+          placement_latencies := (!sim -. task.W.submit_time) :: !placement_latencies;
+          incr tasks_placed;
+          bump tid;
+          schedule_finish tid ~start:!sim)
+        round.Firmament.Scheduler.started;
+      List.iter
+        (fun (tid, _from, _to) ->
+          (* Migration restarts the task from scratch. *)
+          incr migrations;
+          bump tid;
+          schedule_finish tid ~start:!sim)
+        round.Firmament.Scheduler.migrated;
+      List.iter
+        (fun tid ->
+          incr preemptions;
+          bump tid)
+        round.Firmament.Scheduler.preempted;
+      let progressed =
+        round.Firmament.Scheduler.started <> []
+        || round.Firmament.Scheduler.migrated <> []
+        || round.Firmament.Scheduler.preempted <> []
+      in
+      needs_round := false;
+      if (not progressed) && not changed then begin
+        (* Nothing placeable right now: jump to the next event. *)
+        match Cluster.Event_queue.peek_time events with
+        | Some te -> sim := Float.max !sim te
+        | None -> running := false
+      end
+    end
+    else begin
+      match Cluster.Event_queue.peek_time events with
+      | Some te -> sim := Float.max !sim te
+      | None -> running := false
+    end
+  done;
+  (* Collect response times from finished tasks. *)
+  let response_times = ref [] in
+  let job_responses = ref [] in
+  Cluster.State.iter_jobs cluster (fun job ->
+      if job.W.klass = Cluster.Types.Batch then begin
+        let all_done = ref true and worst = ref 0. in
+        Array.iter
+          (fun (task : W.task) ->
+            match task.W.state with
+            | Cluster.Types.Finished { response_time } ->
+                response_times := response_time :: !response_times;
+                worst := Float.max !worst response_time
+            | Cluster.Types.Waiting | Cluster.Types.Running _ | Cluster.Types.Failed ->
+                all_done := false)
+          job.W.tasks;
+        if !all_done && Array.length job.W.tasks > 0 then
+          job_responses := !worst :: !job_responses
+      end);
+  {
+    placement_latencies = List.rev !placement_latencies;
+    response_times = !response_times;
+    job_response_times = !job_responses;
+    algorithm_runtimes = List.rev !algorithm_runtimes;
+    runtime_timeline = List.rev !timeline;
+    rounds = !rounds;
+    sim_end = !sim;
+    tasks_placed = !tasks_placed;
+    preemptions = !preemptions;
+    migrations = !migrations;
+    unfinished_waiting = Cluster.State.waiting_count cluster;
+  }
+
+let run config trace = run_with ~config ~trace ~on_round:(fun ~sim:_ _ -> ()) ()

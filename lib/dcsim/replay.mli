@@ -1,0 +1,53 @@
+(** Trace replay for flow-based schedulers — the equivalent of the paper's
+    simulator (§7.1): it runs the {e real} Firmament code (policies, graph
+    updates, MCMF solvers) against simulated machines and tasks, stubbing
+    only task execution.
+
+    Time accounting follows paper Fig. 2b: while the solver runs (its
+    {e measured} wall-clock runtime, on this machine), simulated time
+    advances and incoming events accumulate; they are applied before the
+    next round. A task's placement latency is the simulated time between
+    its submission and the completion of the solver run that placed it.
+    Slots freed mid-run are reusable only from the next round — the effect
+    that hurts long solver runs in Fig. 16. *)
+
+type config = {
+  scheduler : Firmament.Scheduler.config;
+  policy :
+    drain:bool -> Firmament.Flow_network.t -> Cluster.State.t -> Firmament.Policy.t;
+  solver_time : [ `Measured | `Fixed of float ];
+      (** [`Fixed] makes replay deterministic for tests *)
+  max_sim_time : float option;
+  max_rounds : int option;
+}
+
+val default_config : config
+
+type metrics = {
+  placement_latencies : float list;  (** one per placement (first or re-) *)
+  response_times : float list;  (** per finished batch task *)
+  job_response_times : float list;  (** per finished batch job: max task response *)
+  algorithm_runtimes : float list;  (** per scheduling round *)
+  runtime_timeline : (float * float) list;  (** (sim time, algorithm runtime) *)
+  rounds : int;
+  sim_end : float;
+  tasks_placed : int;
+  preemptions : int;
+  migrations : int;
+  unfinished_waiting : int;  (** tasks still waiting when replay ended *)
+}
+
+(** [run config trace] replays [trace] to completion (or to the configured
+    bounds) and returns the collected metrics. *)
+val run : config -> Cluster.Trace.t -> metrics
+
+(** [run_with ?config ~trace ~on_round ()] is {!run} with a per-round hook
+    (used by the Fig. 16 timeline and the oversubscription experiments).
+    The hook receives the simulated time at the {e end} of each round and
+    that round's result. *)
+val run_with :
+  ?config:config ->
+  trace:Cluster.Trace.t ->
+  on_round:(sim:float -> Firmament.Scheduler.round -> unit) ->
+  unit ->
+  metrics

@@ -1,0 +1,50 @@
+(** Local-testbed simulation for the §7.5 placement-quality experiments
+    (Fig. 19): a 40-machine, 10 G cluster where short batch-analytics
+    tasks read multi-GB inputs over the network ({!Netsim}), optionally
+    competing with high-priority background traffic (iperf-style batch
+    flows and nginx-style service flows).
+
+    A task placed on machine [m] first transfers its input from a storage
+    machine (unless it is local), then computes for its duration; its
+    response time is therefore dominated by the bandwidth its transfer
+    gets — which is exactly what distinguishes the network-aware policy
+    from bandwidth-oblivious schedulers.
+
+    The engine drives either the Firmament scheduler (any policy factory;
+    use the network-aware one for the paper's setup, wired to
+    {!Netsim.used_mbps} as its monitoring source) or a queue-based
+    {!Baselines.t}, or the idealized isolation baseline ("Idle" in
+    Fig. 19: every task alone on an idle network). *)
+
+type kind =
+  | Firmament of
+      (bandwidth_used:(Cluster.Types.machine_id -> int) ->
+      drain:bool ->
+      Firmament.Flow_network.t ->
+      Cluster.State.t ->
+      Firmament.Policy.t)
+  | Baseline of Baselines.t
+  | Isolation  (** analytic lower bound: full NIC for every transfer *)
+
+type background = {
+  bg_src : Cluster.Types.machine_id option;
+  bg_dst : Cluster.Types.machine_id;
+  bg_mbps : float;
+}
+
+type result = {
+  response_times : float list;  (** finished short-batch tasks *)
+  placement_latencies : float list;
+  finished : int;
+  unfinished : int;
+}
+
+(** [run ~topology ~arrivals ~background kind] replays the workload to
+    completion (bounded by [max_sim_time], default 10,000 s). *)
+val run :
+  ?max_sim_time:float ->
+  topology:Cluster.Topology.t ->
+  arrivals:(float * Cluster.Workload.job) list ->
+  background:background list ->
+  kind ->
+  result

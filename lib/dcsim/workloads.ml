@@ -1,0 +1,71 @@
+module W = Cluster.Workload
+
+let big_job ~jid ~n_tasks ~submit ~duration ?(first_tid = 1_000_000) () =
+  let tasks =
+    Array.init n_tasks (fun i ->
+        W.make_task ~tid:(first_tid + i) ~job:jid ~submit_time:submit ~duration ())
+  in
+  W.make_job ~jid ~klass:Cluster.Types.Batch ~submit_time:submit ~tasks
+
+let short_task_jobs ~machines ~slots ~task_duration ~tasks_per_job ~load ~horizon ~seed =
+  let rng = Random.State.make [| seed |] in
+  let total_slots = float_of_int (machines * slots) in
+  (* Poisson arrivals: occupancy = rate * tasks_per_job * duration. *)
+  let job_rate = load *. total_slots /. (float_of_int tasks_per_job *. task_duration) in
+  let jobs = ref [] in
+  let t = ref 0. in
+  let jid = ref 0 in
+  let tid = ref 0 in
+  while !t < horizon do
+    t := !t +. (-.(1. /. job_rate) *. log (max 1e-12 (Random.State.float rng 1.)));
+    if !t < horizon then begin
+      let tasks =
+        Array.init tasks_per_job (fun _ ->
+            let id = !tid in
+            incr tid;
+            W.make_task ~tid:id ~job:!jid ~submit_time:!t ~duration:task_duration ())
+      in
+      jobs := (!t, W.make_job ~jid:!jid ~klass:Cluster.Types.Batch ~submit_time:!t ~tasks) :: !jobs;
+      incr jid
+    end
+  done;
+  List.rev !jobs
+
+let testbed_short_batch ~machines ~n_tasks ~interarrival ~seed =
+  let rng = Random.State.make [| seed |] in
+  List.init n_tasks (fun i ->
+      let t = float_of_int i *. interarrival in
+      let compute = 3.5 +. Random.State.float rng 1.5 in
+      let input_mb = 4_000. +. Random.State.float rng 4_000. in
+      let replicas = List.init 3 (fun _ -> Random.State.int rng machines) in
+      let demand = int_of_float (input_mb *. 8. /. Float.max 1. compute) in
+      let task =
+        W.make_task ~tid:i ~job:i ~submit_time:t ~duration:compute ~input_mb
+          ~input_machines:replicas
+          ~net_demand_mbps:(min 9_000 demand)
+          ()
+      in
+      (t, W.make_job ~jid:i ~klass:Cluster.Types.Batch ~submit_time:t ~tasks:[| task |]))
+
+let testbed_background ~machines ~seed =
+  let rng = Random.State.make [| seed |] in
+  let pick () = Random.State.int rng machines in
+  (* Fourteen iperf clients -> seven servers at 4 Gbps each (two per
+     server), high priority. *)
+  let iperf =
+    List.concat_map
+      (fun _server ->
+        let dst = pick () in
+        [
+          { Testbed.bg_src = Some (pick ()); bg_dst = dst; bg_mbps = 4_000. };
+          { Testbed.bg_src = Some (pick ()); bg_dst = dst; bg_mbps = 4_000. };
+        ])
+      (List.init 7 Fun.id)
+  in
+  (* Three nginx servers serving seven HTTP clients: lighter flows out of
+     the web servers. *)
+  let nginx =
+    List.init 7 (fun i ->
+        { Testbed.bg_src = Some (pick ()); bg_dst = pick (); bg_mbps = 300. +. float_of_int (i * 50) })
+  in
+  iperf @ nginx

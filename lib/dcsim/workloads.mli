@@ -1,0 +1,45 @@
+(** Workload builders for the paper's experiments (one per setup that the
+    generic {!Cluster.Trace} generator doesn't directly express). *)
+
+(** [big_job ~jid ~n_tasks ~submit ~duration ()] is a single job with
+    [n_tasks] identical tasks — the "large arriving job" of Fig. 8/9. *)
+val big_job :
+  jid:Cluster.Types.job_id ->
+  n_tasks:int ->
+  submit:float ->
+  duration:float ->
+  ?first_tid:int ->
+  unit ->
+  Cluster.Workload.job
+
+(** [short_task_jobs ~machines ~slots ~task_duration ~tasks_per_job ~load
+    ~horizon ~seed] is the Fig. 17 workload: jobs of [tasks_per_job]
+    equal-duration tasks arriving as a Poisson process whose rate keeps the
+    cluster at [load] (fraction of slots busy) assuming zero scheduler
+    overhead. *)
+val short_task_jobs :
+  machines:int ->
+  slots:int ->
+  task_duration:float ->
+  tasks_per_job:int ->
+  load:float ->
+  horizon:float ->
+  seed:int ->
+  (float * Cluster.Workload.job) list
+
+(** [testbed_short_batch ~machines ~n_tasks ~interarrival ~seed] is the
+    §7.5 workload: short batch-analytics tasks (3.5–5 s compute) reading
+    4–8 GB inputs from a cluster filesystem (replicated blocks on random
+    machines), submitted as single-task jobs. *)
+val testbed_short_batch :
+  machines:int ->
+  n_tasks:int ->
+  interarrival:float ->
+  seed:int ->
+  (float * Cluster.Workload.job) list
+
+(** [testbed_background ~machines ~seed] is the Fig. 19b background load:
+    fourteen iperf-style 4 Gbps UDP flows into seven servers (high-priority
+    batch service class) plus three nginx-style web servers with seven HTTP
+    clients. *)
+val testbed_background : machines:int -> seed:int -> Testbed.background list

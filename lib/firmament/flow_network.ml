@@ -1,0 +1,329 @@
+module G = Flowgraph.Graph
+
+type node_kind =
+  | Task_node of Cluster.Types.task_id
+  | Machine_node of Cluster.Types.machine_id
+  | Rack_node of Cluster.Types.rack_id
+  | Cluster_agg
+  | Unscheduled_agg of Cluster.Types.job_id
+  | Request_agg of int
+  | Sink
+
+let pp_node_kind ppf = function
+  | Task_node t -> Format.fprintf ppf "task:%d" t
+  | Machine_node m -> Format.fprintf ppf "machine:%d" m
+  | Rack_node r -> Format.fprintf ppf "rack:%d" r
+  | Cluster_agg -> Format.pp_print_string ppf "cluster-agg"
+  | Unscheduled_agg j -> Format.fprintf ppf "unscheduled:%d" j
+  | Request_agg b -> Format.fprintf ppf "request-agg:%d" b
+  | Sink -> Format.pp_print_string ppf "sink"
+
+type t = {
+  mutable g : G.t;
+  sink : G.node;
+  kinds : (G.node, node_kind) Hashtbl.t;
+  tasks : (Cluster.Types.task_id, G.node) Hashtbl.t;
+  machines : (Cluster.Types.machine_id, G.node) Hashtbl.t;
+  racks : (Cluster.Types.rack_id, G.node) Hashtbl.t;
+  unscheduled : (Cluster.Types.job_id, G.node) Hashtbl.t;
+  request_aggs : (int, G.node) Hashtbl.t;
+  mutable cluster_agg : G.node option;
+  mutable n_tasks : int;
+}
+
+let create () =
+  let g = G.create () in
+  let sink = G.add_node g ~supply:0 in
+  let kinds = Hashtbl.create 256 in
+  Hashtbl.replace kinds sink Sink;
+  {
+    g;
+    sink;
+    kinds;
+    tasks = Hashtbl.create 256;
+    machines = Hashtbl.create 64;
+    racks = Hashtbl.create 16;
+    unscheduled = Hashtbl.create 16;
+    request_aggs = Hashtbl.create 16;
+    cluster_agg = None;
+    n_tasks = 0;
+  }
+
+let graph t = t.g
+let set_graph t g = t.g <- g
+let sink t = t.sink
+
+let kind t n =
+  match Hashtbl.find_opt t.kinds n with
+  | Some k -> k
+  | None -> invalid_arg (Printf.sprintf "Flow_network.kind: unknown node %d" n)
+
+let task_count t = t.n_tasks
+
+let add_task t tid =
+  if Hashtbl.mem t.tasks tid then
+    invalid_arg (Printf.sprintf "Flow_network.add_task: task %d already present" tid);
+  let n = G.add_node t.g ~supply:1 in
+  Hashtbl.replace t.kinds n (Task_node tid);
+  Hashtbl.replace t.tasks tid n;
+  t.n_tasks <- t.n_tasks + 1;
+  G.set_supply t.g t.sink (- t.n_tasks);
+  n
+
+let task_node t tid = Hashtbl.find_opt t.tasks tid
+
+let task_of_node t n =
+  match Hashtbl.find_opt t.kinds n with Some (Task_node tid) -> Some tid | _ -> None
+
+let machine_node t m = Hashtbl.find_opt t.machines m
+
+let machine_of_node t n =
+  match Hashtbl.find_opt t.kinds n with Some (Machine_node m) -> Some m | _ -> None
+
+(* Walk the task's unit of flow to the sink and retire it (paper §5.3.2):
+   after this the rest of the solution is untouched and stays balanced. *)
+let drain_task_flow t node =
+  let rec walk n =
+    if n <> t.sink then begin
+      (* Find any outgoing forward arc carrying flow. *)
+      let carrier = ref (-1) in
+      let it = ref (G.first_out t.g n) in
+      while !carrier < 0 && !it >= 0 do
+        let a = !it in
+        if G.is_forward a && G.rescap t.g (G.rev a) > 0 then carrier := a;
+        it := G.next_out t.g a
+      done;
+      if !carrier >= 0 then begin
+        G.push t.g (G.rev !carrier) 1;
+        walk (G.dst t.g !carrier)
+      end
+    end
+  in
+  walk node
+
+let remove_task t tid ~drain =
+  match Hashtbl.find_opt t.tasks tid with
+  | None -> invalid_arg (Printf.sprintf "Flow_network.remove_task: unknown task %d" tid)
+  | Some n ->
+      if drain then drain_task_flow t n;
+      G.remove_node t.g n;
+      Hashtbl.remove t.tasks tid;
+      Hashtbl.remove t.kinds n;
+      t.n_tasks <- t.n_tasks - 1;
+      G.set_supply t.g t.sink (- t.n_tasks)
+
+(* Move the task's unit onto the direct task->machine arc. The task's own
+   first hop is cancelled, and one unit of any flow-decomposition path from
+   that hop's head to the machine is cancelled via a backward search from
+   the machine along flow-carrying arcs. The search never expands task
+   nodes and stops at the target aggregator, so high-degree aggregators
+   are never scanned. *)
+let reroute_direct t tid m ~cost =
+  match (Hashtbl.find_opt t.tasks tid, Hashtbl.find_opt t.machines m) with
+  | Some tn, Some mn ->
+      (* The task's unique carrier (its one unit of flow). *)
+      let first_hop = ref (-1) in
+      let it = ref (G.first_out t.g tn) in
+      while !first_hop < 0 && !it >= 0 do
+        let a = !it in
+        if G.is_forward a && G.rescap t.g (G.rev a) > 0 then first_hop := a;
+        it := G.next_out t.g a
+      done;
+      if !first_hop < 0 then false (* unrouted *)
+      else if G.dst t.g !first_hop = mn then true (* already direct *)
+      else begin
+        let target = G.dst t.g !first_hop in
+        (* Backward DFS from the machine: follow reverse residual arcs
+           (one per unit of inbound flow) until reaching [target]. *)
+        let parent : (G.node, G.arc) Hashtbl.t = Hashtbl.create 16 in
+        let stack = ref [ mn ] in
+        let found = ref false in
+        while (not !found) && !stack <> [] do
+          match !stack with
+          | [] -> ()
+          | n :: rest ->
+              stack := rest;
+              let it = ref (G.first_active t.g n) in
+              while (not !found) && !it >= 0 do
+                let a = !it in
+                (* Reverse residual arcs n->p mirror flow p->n. *)
+                if not (G.is_forward a) then begin
+                  let p = G.dst t.g a in
+                  if p = target then begin
+                    Hashtbl.replace parent p a;
+                    found := true
+                  end
+                  else if not (Hashtbl.mem parent p) then begin
+                    match Hashtbl.find_opt t.kinds p with
+                    | Some (Rack_node _ | Cluster_agg | Request_agg _) ->
+                        Hashtbl.replace parent p a;
+                        stack := p :: !stack
+                    | Some
+                        ( Task_node _ | Machine_node _ | Unscheduled_agg _ | Sink )
+                    | None ->
+                        ()
+                  end
+                end;
+                it := G.next_active t.g a
+              done
+        done;
+        if not !found then false
+        else begin
+          (* Cancel the task's own first hop... *)
+          G.push t.g (G.rev !first_hop) 1;
+          (* ...cancel one unit along the discovered chain (pushing on the
+             reverse arcs walks the reduction from the machine back to the
+             target aggregator)... *)
+          let rec unwind n =
+            if n <> mn then begin
+              let a = Hashtbl.find parent n in
+              (* a runs src->n with src closer to the machine. *)
+              G.push t.g a 1;
+              unwind (G.src t.g a)
+            end
+          in
+          unwind target;
+          (* ...and route the unit directly. *)
+          let direct =
+            match
+              (let found = ref None in
+               let it = ref (G.first_out t.g tn) in
+               while !found = None && !it >= 0 do
+                 let a = !it in
+                 if G.is_forward a && G.dst t.g a = mn then found := Some a;
+                 it := G.next_out t.g a
+               done;
+               !found)
+            with
+            | Some a ->
+                G.set_cost t.g a cost;
+                a
+            | None -> G.add_arc t.g ~src:tn ~dst:mn ~cost ~cap:1
+          in
+          G.push t.g direct 1;
+          true
+        end
+      end
+  | _ -> false
+
+let ensure_machine t m ~slots =
+  match Hashtbl.find_opt t.machines m with
+  | Some n -> n
+  | None ->
+      let n = G.add_node t.g ~supply:0 in
+      Hashtbl.replace t.kinds n (Machine_node m);
+      Hashtbl.replace t.machines m n;
+      ignore (G.add_arc t.g ~src:n ~dst:t.sink ~cost:0 ~cap:slots);
+      n
+
+let remove_machine t m =
+  match Hashtbl.find_opt t.machines m with
+  | None -> ()
+  | Some n ->
+      G.remove_node t.g n;
+      Hashtbl.remove t.machines m;
+      Hashtbl.remove t.kinds n
+
+let ensure_rack t r =
+  match Hashtbl.find_opt t.racks r with
+  | Some n -> n
+  | None ->
+      let n = G.add_node t.g ~supply:0 in
+      Hashtbl.replace t.kinds n (Rack_node r);
+      Hashtbl.replace t.racks r n;
+      n
+
+let rack_node t r = Hashtbl.find_opt t.racks r
+
+let ensure_cluster_agg t =
+  match t.cluster_agg with
+  | Some n -> n
+  | None ->
+      let n = G.add_node t.g ~supply:0 in
+      Hashtbl.replace t.kinds n Cluster_agg;
+      t.cluster_agg <- Some n;
+      n
+
+let ensure_unscheduled t j =
+  match Hashtbl.find_opt t.unscheduled j with
+  | Some n -> n
+  | None ->
+      let n = G.add_node t.g ~supply:0 in
+      Hashtbl.replace t.kinds n (Unscheduled_agg j);
+      Hashtbl.replace t.unscheduled j n;
+      ignore (G.add_arc t.g ~src:n ~dst:t.sink ~cost:0 ~cap:0);
+      n
+
+let unscheduled_node t j = Hashtbl.find_opt t.unscheduled j
+
+let remove_unscheduled t j =
+  match Hashtbl.find_opt t.unscheduled j with
+  | None -> ()
+  | Some n ->
+      G.remove_node t.g n;
+      Hashtbl.remove t.unscheduled j;
+      Hashtbl.remove t.kinds n
+
+let ensure_request_agg t b =
+  match Hashtbl.find_opt t.request_aggs b with
+  | Some n -> n
+  | None ->
+      let n = G.add_node t.g ~supply:0 in
+      Hashtbl.replace t.kinds n (Request_agg b);
+      Hashtbl.replace t.request_aggs b n;
+      n
+
+let remove_request_agg t b =
+  match Hashtbl.find_opt t.request_aggs b with
+  | None -> ()
+  | Some n ->
+      G.remove_node t.g n;
+      Hashtbl.remove t.request_aggs b;
+      Hashtbl.remove t.kinds n
+
+let find_arc t src dst =
+  let found = ref None in
+  let it = ref (G.first_out t.g src) in
+  while !found = None && !it >= 0 do
+    let a = !it in
+    if G.is_forward a && G.dst t.g a = dst then found := Some a;
+    it := G.next_out t.g a
+  done;
+  !found
+
+let set_or_add_arc t ~src ~dst ~cost ~cap =
+  match find_arc t src dst with
+  | Some a ->
+      G.set_cost t.g a cost;
+      G.set_capacity t.g a cap;
+      a
+  | None -> G.add_arc t.g ~src ~dst ~cost ~cap
+
+let iter_task_nodes t f = Hashtbl.iter f t.tasks
+let iter_machine_nodes t f = Hashtbl.iter f t.machines
+
+let validate_structure t =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  if G.supply t.g t.sink <> -t.n_tasks then
+    err "sink supply %d does not match -%d task nodes" (G.supply t.g t.sink) t.n_tasks;
+  Hashtbl.iter
+    (fun tid n ->
+      if not (G.node_is_live t.g n) then err "task %d maps to dead node %d" tid n
+      else if G.supply t.g n <> 1 then err "task %d has supply %d" tid (G.supply t.g n))
+    t.tasks;
+  Hashtbl.iter
+    (fun m n ->
+      if not (G.node_is_live t.g n) then err "machine %d maps to dead node %d" m n
+      else begin
+        (* A machine's only outgoing forward arc must lead to the sink. *)
+        let it = ref (G.first_out t.g n) in
+        while !it >= 0 do
+          let a = !it in
+          if G.is_forward a && G.dst t.g a <> t.sink then
+            err "machine %d has a non-sink outgoing arc to node %d" m (G.dst t.g a);
+          it := G.next_out t.g a
+        done
+      end)
+    t.machines;
+  List.rev !errs

@@ -1,0 +1,124 @@
+(** The scheduling flow network (paper §3.2).
+
+    Wraps a {!Flowgraph.Graph.t} with the node roles of Firmament's
+    scheduling graphs — task nodes (sources of one unit of flow), machine
+    nodes, policy-defined aggregators (cluster, rack, per-job unscheduled,
+    request aggregators), and the single sink — and keeps the id maps
+    policies and the placement extractor need.
+
+    Invariants maintained here:
+    - every task node has supply 1; the sink's supply is always
+      [-(number of task nodes)], adjusted on task addition/removal;
+    - machine nodes' only outgoing arc leads to the sink (checked by the
+      placement extractor);
+    - node handles remain valid across {!set_graph} because {!Race} deals
+      in structure-preserving copies. *)
+
+type node_kind =
+  | Task_node of Cluster.Types.task_id
+  | Machine_node of Cluster.Types.machine_id
+  | Rack_node of Cluster.Types.rack_id
+  | Cluster_agg
+  | Unscheduled_agg of Cluster.Types.job_id
+  | Request_agg of int  (** network-aware policy: keyed by bandwidth class *)
+  | Sink
+
+val pp_node_kind : Format.formatter -> node_kind -> unit
+
+type t
+
+(** [create ()] builds a network containing only the sink. *)
+val create : unit -> t
+
+val graph : t -> Flowgraph.Graph.t
+
+(** [set_graph t g] adopts a structure-preserving copy returned by the
+    solver race (same node ids). *)
+val set_graph : t -> Flowgraph.Graph.t -> unit
+
+val sink : t -> Flowgraph.Graph.node
+val kind : t -> Flowgraph.Graph.node -> node_kind
+
+(** {1 Node management} *)
+
+(** [add_task t tid] creates the task's source node (supply 1) and grows
+    the sink demand. @raise Invalid_argument if [tid] already has a node. *)
+val add_task : t -> Cluster.Types.task_id -> Flowgraph.Graph.node
+
+(** [remove_task t tid ~drain] removes the task node and shrinks the sink
+    demand. With [~drain:true] (the efficient-task-removal heuristic,
+    paper §5.3.2) the task's unit of flow is first walked to the sink and
+    retired, leaving the solution balanced; with [false] the node is
+    dropped directly, leaving demand at the downstream node for the next
+    incremental solve to repair. *)
+val remove_task : t -> Cluster.Types.task_id -> drain:bool -> unit
+
+(** [reroute_direct t tid m] moves the task's unit of flow off whatever
+    aggregator path currently carries it and onto the direct
+    task→machine arc (creating that arc if missing, with the given
+    [cost]). Policies call this when applying a placement so that the
+    subsequent cheap continuation arc is {e saturated} rather than an
+    open negative-reduced-cost arc — keeping the incremental solver's
+    starting ε at the costliest true change (paper §6.2) instead of the
+    full cost range. Returns [false] (graph untouched) if the task has no
+    routed unit or its path does not traverse [m]. *)
+val reroute_direct :
+  t -> Cluster.Types.task_id -> Cluster.Types.machine_id -> cost:int -> bool
+
+val task_node : t -> Cluster.Types.task_id -> Flowgraph.Graph.node option
+val task_of_node : t -> Flowgraph.Graph.node -> Cluster.Types.task_id option
+
+(** [ensure_machine t m] returns machine [m]'s node, creating it (with its
+    arc to the sink, capacity [slots], cost 0) on first use. *)
+val ensure_machine :
+  t -> Cluster.Types.machine_id -> slots:int -> Flowgraph.Graph.node
+
+val machine_node : t -> Cluster.Types.machine_id -> Flowgraph.Graph.node option
+val machine_of_node : t -> Flowgraph.Graph.node -> Cluster.Types.machine_id option
+
+(** [remove_machine t m] removes the machine node and all incident arcs
+    (machine failure). *)
+val remove_machine : t -> Cluster.Types.machine_id -> unit
+
+val ensure_rack : t -> Cluster.Types.rack_id -> Flowgraph.Graph.node
+val rack_node : t -> Cluster.Types.rack_id -> Flowgraph.Graph.node option
+val ensure_cluster_agg : t -> Flowgraph.Graph.node
+
+(** [ensure_unscheduled t j] returns job [j]'s unscheduled aggregator,
+    creating it (with a zero-capacity arc to the sink, grown as tasks
+    arrive) on first use. *)
+val ensure_unscheduled : t -> Cluster.Types.job_id -> Flowgraph.Graph.node
+
+val unscheduled_node : t -> Cluster.Types.job_id -> Flowgraph.Graph.node option
+val remove_unscheduled : t -> Cluster.Types.job_id -> unit
+val ensure_request_agg : t -> int -> Flowgraph.Graph.node
+val remove_request_agg : t -> int -> unit
+
+(** {1 Arc helpers} *)
+
+(** [find_arc t src dst] is the forward arc from [src] to [dst], if any
+    (linear in [src]'s degree). *)
+val find_arc :
+  t -> Flowgraph.Graph.node -> Flowgraph.Graph.node -> Flowgraph.Graph.arc option
+
+(** [set_or_add_arc t ~src ~dst ~cost ~cap] updates the existing arc's
+    cost/capacity or creates it. Returns the arc. *)
+val set_or_add_arc :
+  t ->
+  src:Flowgraph.Graph.node ->
+  dst:Flowgraph.Graph.node ->
+  cost:int ->
+  cap:int ->
+  Flowgraph.Graph.arc
+
+val task_count : t -> int
+
+(** [iter_task_nodes t f] / [iter_machine_nodes t f] iterate the id maps. *)
+val iter_task_nodes : t -> (Cluster.Types.task_id -> Flowgraph.Graph.node -> unit) -> unit
+
+val iter_machine_nodes :
+  t -> (Cluster.Types.machine_id -> Flowgraph.Graph.node -> unit) -> unit
+
+(** [validate_structure t] checks the structural invariants listed above;
+    returns human-readable violations (for tests and debug builds). *)
+val validate_structure : t -> string list

@@ -1,0 +1,144 @@
+module G = Flowgraph.Graph
+module FN = Flow_network
+
+type assignment = {
+  task : Cluster.Types.task_id;
+  machine : Cluster.Types.machine_id option;
+}
+
+let fail fmt = Format.kasprintf failwith fmt
+
+(* Incoming flow arcs of [n]: reverse residual arcs in n's out-list whose
+   residual capacity is the flow on their forward member. *)
+let iter_incoming_flow g n f =
+  let it = ref (G.first_out g n) in
+  while !it >= 0 do
+    let a = !it in
+    if (not (G.is_forward a)) && G.rescap g a > 0 then
+      f ~src:(G.dst g a) ~flow:(G.rescap g a);
+    it := G.next_out g a
+  done
+
+let extract net =
+  let g = FN.graph net in
+  let sink = FN.sink net in
+  G.iter_nodes g (fun n ->
+      if G.excess g n <> 0 then
+        fail "Placement.extract: infeasible flow (node %d has excess %d)" n (G.excess g n));
+  (* Tokens and Kahn counters. *)
+  let tokens : (G.node, Cluster.Types.machine_id list) Hashtbl.t = Hashtbl.create 256 in
+  let give n tok =
+    Hashtbl.replace tokens n (tok :: (Option.value ~default:[] (Hashtbl.find_opt tokens n)))
+  in
+  let take n =
+    match Hashtbl.find_opt tokens n with
+    | Some (tok :: rest) ->
+        Hashtbl.replace tokens n rest;
+        tok
+    | Some [] | None -> fail "Placement.extract: node %d ran out of tokens" n
+  in
+  (* pending.(n) = machine-bound outgoing flow an aggregator still awaits
+     tokens for. Tasks and machines are handled specially. *)
+  let pending : (G.node, int) Hashtbl.t = Hashtbl.create 256 in
+  let mappings : (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let ready = Queue.create () in
+  (* Initialize counters for aggregator nodes and mint machine tokens. *)
+  G.iter_nodes g (fun n ->
+      match FN.kind net n with
+      | FN.Sink | FN.Task_node _ | FN.Unscheduled_agg _ -> ()
+      | FN.Machine_node m -> (
+          match FN.find_arc net n sink with
+          | None -> fail "Placement.extract: machine %d lacks a sink arc" m
+          | Some a ->
+              let f = G.flow g a in
+              for _ = 1 to f do
+                give n m
+              done;
+              if f > 0 then Queue.add n ready)
+      | FN.Rack_node _ | FN.Cluster_agg | FN.Request_agg _ ->
+          let out = ref 0 in
+          let it = ref (G.first_out g n) in
+          while !it >= 0 do
+            let a = !it in
+            if G.is_forward a then begin
+              if G.dst g a = sink && G.flow g a > 0 then
+                fail "Placement.extract: aggregator node %d sends flow directly to the sink" n;
+              out := !out + G.flow g a
+            end;
+            it := G.next_out g a
+          done;
+          Hashtbl.replace pending n !out);
+  (* Backward token propagation. *)
+  let distribute n =
+    iter_incoming_flow g n (fun ~src ~flow ->
+        match FN.kind net src with
+        | FN.Task_node tid ->
+            if flow <> 1 then fail "Placement.extract: task %d sends flow %d" tid flow;
+            Hashtbl.replace mappings tid (take n)
+        | FN.Rack_node _ | FN.Cluster_agg | FN.Request_agg _ ->
+            for _ = 1 to flow do
+              give src (take n)
+            done;
+            let p = Hashtbl.find pending src - flow in
+            Hashtbl.replace pending src p;
+            if p = 0 then Queue.add src ready
+            else if p < 0 then fail "Placement.extract: node %d over-received tokens" src
+        | FN.Machine_node _ ->
+            fail "Placement.extract: machine node %d receives flow from node %d downstream" src n
+        | FN.Sink -> ()
+        | FN.Unscheduled_agg j ->
+            fail "Placement.extract: unscheduled aggregator %d feeds a machine-bound node" j)
+  in
+  while not (Queue.is_empty ready) do
+    distribute (Queue.pop ready)
+  done;
+  let out = ref [] in
+  FN.iter_task_nodes net (fun tid _node ->
+      out := { task = tid; machine = Hashtbl.find_opt mappings tid } :: !out);
+  List.sort (fun a b -> compare a.task b.task) !out
+
+let extract_partial net =
+  let g = FN.graph net in
+  let sink = FN.sink net in
+  (* Walk one unit of flow from [n] toward the sink, consuming it from a
+     scratch per-arc budget so two tasks never claim the same unit. *)
+  let budget : (G.arc, int) Hashtbl.t = Hashtbl.create 256 in
+  let remaining a =
+    match Hashtbl.find_opt budget a with Some r -> r | None -> G.flow g a
+  in
+  let consume a = Hashtbl.replace budget a (remaining a - 1) in
+  let rec walk n hops =
+    if hops > 64 then None
+    else if n = sink then None
+    else
+      match FN.kind net n with
+      | FN.Machine_node m -> Some m
+      | FN.Unscheduled_agg _ -> None
+      | FN.Task_node _ | FN.Rack_node _ | FN.Cluster_agg | FN.Request_agg _ | FN.Sink ->
+          let carrier = ref (-1) in
+          let it = ref (G.first_out g n) in
+          while !carrier < 0 && !it >= 0 do
+            let a = !it in
+            if G.is_forward a && remaining a > 0 then carrier := a;
+            it := G.next_out g a
+          done;
+          if !carrier < 0 then None
+          else begin
+            consume !carrier;
+            walk (G.dst g !carrier) (hops + 1)
+          end
+  in
+  let out = ref [] in
+  FN.iter_task_nodes net (fun tid node ->
+      out := { task = tid; machine = walk node 0 } :: !out);
+  List.sort (fun a b -> compare a.task b.task) !out
+
+let extract_map net =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun { task; machine } ->
+      match machine with Some m -> Hashtbl.replace tbl task m | None -> ())
+    (extract net);
+  tbl

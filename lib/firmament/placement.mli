@@ -1,0 +1,38 @@
+(** Task-placement extraction from the optimal flow (paper §6.3,
+    Listing 1).
+
+    Firmament allows arbitrary aggregators between tasks and machines, so
+    paths can be longer than in Quincy; this generalizes Quincy's
+    extraction to a single backward pass. Starting from machine nodes
+    (which mint one token per unit of flow they forward to the sink),
+    tokens are propagated backwards along flow-carrying arcs; a node
+    distributes its tokens once it has received one per unit of its own
+    outgoing machine-bound flow (Kahn-style readiness, which makes the
+    "revisit" loop of Listing 1 a strict single pass). Tasks whose unit of
+    flow drains through an unscheduled aggregator receive no token and are
+    reported unplaced. *)
+
+type assignment = {
+  task : Cluster.Types.task_id;
+  machine : Cluster.Types.machine_id option;  (** [None] = left unscheduled *)
+}
+
+(** [extract net] reads the current (feasible) flow in [net] and returns
+    one assignment per task node.
+    @raise Failure if the flow is infeasible (non-zero excess) or violates
+    the structural invariants the extraction relies on. *)
+val extract : Flow_network.t -> assignment list
+
+(** [extract_map net] is {!extract} as a hash table over scheduled tasks
+    only. *)
+val extract_map :
+  Flow_network.t -> (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t
+
+(** [extract_partial net] reads placements out of a possibly {e infeasible
+    or non-optimal} intermediate flow (an early-terminated solver run,
+    paper §5.1/Fig. 10): each task's unit of flow is walked greedily
+    toward the sink; tasks whose flow is unrouted or parks at an
+    unscheduled aggregator report [None]. Unlike {!extract} this never
+    fails, but concurrent units through an aggregator may be attributed to
+    either upstream task. *)
+val extract_partial : Flow_network.t -> assignment list

@@ -1,0 +1,40 @@
+(** Scheduling-policy interface (paper §3.3, Fig. 6).
+
+    A policy owns the shape and costs of the scheduling flow network. The
+    scheduler notifies it of every cluster event so it can make the
+    corresponding graph changes (paper §5.2: all events reduce to supply,
+    capacity, and cost changes), and calls {!refresh} once per scheduling
+    round, right before the solver — that is where the two-pass
+    statistics-update traversal of §6.3 happens (e.g. per-machine task
+    counts, observed network bandwidth, task wait times). *)
+
+type t = {
+  name : string;
+  task_submitted : Cluster.Workload.task -> unit;
+      (** new task: add its node, unscheduled arc and preference arcs *)
+  task_finished : Cluster.Workload.task -> unit;
+      (** remove the task's node (with the efficient-removal heuristic when
+          enabled) and shrink its job's unscheduled capacity *)
+  task_started : Cluster.Workload.task -> Cluster.Types.machine_id -> unit;
+      (** placement applied: adjust arcs so continuing on this machine is
+          the task's cheapest choice *)
+  task_preempted : Cluster.Workload.task -> unit;
+      (** task returned to the wait queue: restore its submission arcs *)
+  machine_failed : Cluster.Types.machine_id -> unit;
+  machine_restored : Cluster.Types.machine_id -> unit;
+  refresh : now:float -> unit;
+}
+
+(** [unscheduled_capacity net job_id ~delta] grows (or shrinks) the
+    capacity of a job's unscheduled-aggregator→sink arc, shared by all
+    policies as tasks come and go. *)
+val adjust_unscheduled_capacity :
+  Flow_network.t -> Cluster.Types.job_id -> delta:int -> unit
+
+(** [prune_task_arcs net tid ~keep] removes the task's outgoing arcs to
+    every node not in [keep]. Policies prune a freshly placed task's
+    unused alternatives so no stale-cost arc is left open (which would
+    inflate the incremental solver's starting ε, §6.2); the alternatives
+    are reinstalled if the task is later preempted. *)
+val prune_task_arcs :
+  Flow_network.t -> Cluster.Types.task_id -> keep:Flowgraph.Graph.node list -> unit

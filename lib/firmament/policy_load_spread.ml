@@ -1,0 +1,119 @@
+module G = Flowgraph.Graph
+module FN = Flow_network
+
+type config = {
+  cost_per_running_task : int;
+  unscheduled_base : int;
+  wait_cost_per_second : int;
+}
+
+let default_config =
+  { cost_per_running_task = 100; unscheduled_base = 100_000; wait_cost_per_second = 100 }
+
+let make ?(config = default_config) ~drain net cluster =
+  let topo = Cluster.State.topology cluster in
+  let x = FN.ensure_cluster_agg net in
+  let sink = FN.sink net in
+  ignore sink;
+  let machine_arcs = Hashtbl.create 64 in
+  (* X -> machine is a convex cost: the k-th concurrent task on a machine
+     costs more than the (k-1)-th, so spreading happens even within one
+     batch. Decomposed into [slots] parallel unit arcs with increasing
+     cost, refreshed per round as tasks start and finish. *)
+  let ensure_machine m =
+    let slots = (Cluster.Topology.machine topo m).Cluster.Topology.slots in
+    let mn = FN.ensure_machine net m ~slots in
+    if not (Hashtbl.mem machine_arcs m) then begin
+      let arcs =
+        Array.init slots (fun i ->
+            G.add_arc (FN.graph net) ~src:x ~dst:mn
+              ~cost:(config.cost_per_running_task * i)
+              ~cap:1)
+      in
+      Hashtbl.replace machine_arcs m arcs
+    end
+  in
+  Cluster.Topology.iter_machines topo (fun m -> ensure_machine m.Cluster.Topology.id);
+  let unsched_cost (task : Cluster.Workload.task) ~now =
+    config.unscheduled_base
+    + (config.wait_cost_per_second
+      * int_of_float (Float.max 0. (now -. task.Cluster.Workload.submit_time)))
+  in
+  let task_submitted (task : Cluster.Workload.task) =
+    let tn = FN.add_task net task.Cluster.Workload.tid in
+    let g = FN.graph net in
+    let u = FN.ensure_unscheduled net task.Cluster.Workload.job in
+    ignore (G.add_arc g ~src:tn ~dst:u ~cost:(unsched_cost task ~now:task.Cluster.Workload.submit_time) ~cap:1);
+    ignore (G.add_arc g ~src:tn ~dst:x ~cost:0 ~cap:1);
+    Policy.adjust_unscheduled_capacity net task.Cluster.Workload.job ~delta:1
+  in
+  let task_finished (task : Cluster.Workload.task) =
+    FN.remove_task net task.Cluster.Workload.tid ~drain;
+    Policy.adjust_unscheduled_capacity net task.Cluster.Workload.job ~delta:(-1)
+  in
+  let task_started (task : Cluster.Workload.task) m =
+    (* Pin continuation: staying put is free, so only contention moves it. *)
+    match (FN.task_node net task.Cluster.Workload.tid, FN.machine_node net m) with
+    | Some tn, Some mn -> ignore (FN.set_or_add_arc net ~src:tn ~dst:mn ~cost:0 ~cap:1)
+    | _ -> ()
+  in
+  let task_preempted (task : Cluster.Workload.task) =
+    (* Drop the continuation arc; the task competes via X again. *)
+    match Cluster.Workload.machine_of task with
+    | _ -> (
+        match FN.task_node net task.Cluster.Workload.tid with
+        | None -> ()
+        | Some tn ->
+            let g = FN.graph net in
+            let to_remove = ref [] in
+            let it = ref (G.first_out g tn) in
+            while !it >= 0 do
+              let a = !it in
+              if G.is_forward a && FN.machine_of_node net (G.dst g a) <> None then
+                to_remove := a :: !to_remove;
+              it := G.next_out g a
+            done;
+            List.iter (fun a -> G.remove_arc g a) !to_remove)
+  in
+  let machine_failed m =
+    Hashtbl.remove machine_arcs m;
+    FN.remove_machine net m
+  in
+  let machine_restored m = ensure_machine m in
+  let refresh ~now =
+    let g = FN.graph net in
+    (* First traversal: per-machine statistics (running task counts);
+       second: cost updates on the X->machine and unscheduled arcs. The
+       i-th spare unit on a machine with r running tasks costs (r + i). *)
+    Hashtbl.iter
+      (fun m arcs ->
+        let r = Cluster.State.running_count cluster m in
+        Array.iteri
+          (fun i a ->
+            if G.arc_is_live g a then
+              G.set_cost g a (config.cost_per_running_task * (r + i)))
+          arcs)
+      machine_arcs;
+    List.iter
+      (fun (task : Cluster.Workload.task) ->
+        match FN.task_node net task.Cluster.Workload.tid with
+        | None -> ()
+        | Some tn -> (
+            match FN.unscheduled_node net task.Cluster.Workload.job with
+            | None -> ()
+            | Some u -> (
+                match FN.find_arc net tn u with
+                | Some a -> G.set_cost g a (unsched_cost task ~now)
+                | None -> ())))
+      (Cluster.State.waiting_tasks cluster)
+  in
+  {
+    Policy.name = "load-spreading";
+    task_submitted;
+    task_finished;
+    task_started;
+    task_preempted;
+    machine_failed;
+    machine_restored;
+    refresh;
+  }

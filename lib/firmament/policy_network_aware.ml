@@ -1,0 +1,195 @@
+module G = Flowgraph.Graph
+module FN = Flow_network
+
+type config = {
+  bucket_mbps : int;
+  unscheduled_base : int;
+  wait_cost_per_second : int;
+}
+
+let default_config = { bucket_mbps = 100; unscheduled_base = 100_000; wait_cost_per_second = 100 }
+
+let bucket_of ~config demand =
+  let b = (demand + config.bucket_mbps - 1) / config.bucket_mbps * config.bucket_mbps in
+  max config.bucket_mbps b
+
+let make ?(config = default_config) ?bandwidth_used ~drain net cluster =
+  let topo = Cluster.State.topology cluster in
+  (* Default observation: the sum of the demands of tasks we placed. *)
+  let default_used m =
+    List.fold_left
+      (fun acc tid ->
+        acc + (Cluster.State.task cluster tid).Cluster.Workload.net_demand_mbps)
+      0
+      (Cluster.State.running_tasks_on cluster m)
+  in
+  let used = Option.value ~default:default_used bandwidth_used in
+  let bucket_refcount : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* Unit arcs currently installed from request aggregator [b] to machine
+     [m] (convex bandwidth pricing; see refresh). *)
+  let ra_arcs : (int * int, G.arc array) Hashtbl.t = Hashtbl.create 64 in
+  Cluster.Topology.iter_machines topo (fun m ->
+      ignore (FN.ensure_machine net m.Cluster.Topology.id ~slots:m.Cluster.Topology.slots));
+  let unsched_cost (task : Cluster.Workload.task) ~now =
+    config.unscheduled_base
+    + (config.wait_cost_per_second
+      * int_of_float (Float.max 0. (now -. task.Cluster.Workload.submit_time)))
+  in
+  let task_bucket (task : Cluster.Workload.task) =
+    bucket_of ~config task.Cluster.Workload.net_demand_mbps
+  in
+  let retain_bucket b =
+    Hashtbl.replace bucket_refcount b (1 + Option.value ~default:0 (Hashtbl.find_opt bucket_refcount b));
+    FN.ensure_request_agg net b
+  in
+  let drop_ra_arcs ~pred =
+    let stale = Hashtbl.fold (fun k _ acc -> if pred k then k :: acc else acc) ra_arcs [] in
+    List.iter (fun k -> Hashtbl.remove ra_arcs k) stale
+  in
+  let release_bucket b =
+    match Hashtbl.find_opt bucket_refcount b with
+    | None -> ()
+    | Some 1 ->
+        Hashtbl.remove bucket_refcount b;
+        FN.remove_request_agg net b;
+        (* Arc ids are recycled; forget handles that just died. *)
+        drop_ra_arcs ~pred:(fun (b', _) -> b' = b)
+    | Some n -> Hashtbl.replace bucket_refcount b (n - 1)
+  in
+  let task_submitted (task : Cluster.Workload.task) =
+    let tn = FN.add_task net task.Cluster.Workload.tid in
+    let gr = FN.graph net in
+    let u = FN.ensure_unscheduled net task.Cluster.Workload.job in
+    ignore
+      (G.add_arc gr ~src:tn ~dst:u
+         ~cost:(unsched_cost task ~now:task.Cluster.Workload.submit_time)
+         ~cap:1);
+    let ra = retain_bucket (task_bucket task) in
+    ignore (G.add_arc gr ~src:tn ~dst:ra ~cost:0 ~cap:1);
+    Policy.adjust_unscheduled_capacity net task.Cluster.Workload.job ~delta:1
+  in
+  let task_finished (task : Cluster.Workload.task) =
+    FN.remove_task net task.Cluster.Workload.tid ~drain;
+    release_bucket (task_bucket task);
+    Policy.adjust_unscheduled_capacity net task.Cluster.Workload.job ~delta:(-1)
+  in
+  let continuation_cost (task : Cluster.Workload.task) m =
+    (* Exclude the task's own contribution to the observed bandwidth, so a
+       migration (which restarts the task) must beat staying put by at
+       least two requests' worth of load — hysteresis against thrashing. *)
+    max 0 (used m - task.Cluster.Workload.net_demand_mbps)
+  in
+  let task_started (task : Cluster.Workload.task) m =
+    let tid = task.Cluster.Workload.tid in
+    if FN.reroute_direct net tid m ~cost:(continuation_cost task m) then begin
+      match (FN.machine_node net m, FN.unscheduled_node net task.Cluster.Workload.job) with
+      | Some mn, Some u -> Policy.prune_task_arcs net tid ~keep:[ mn; u ]
+      | _ -> ()
+    end
+    else begin
+      match (FN.task_node net tid, FN.machine_node net m) with
+      | Some tn, Some mn ->
+          ignore (FN.set_or_add_arc net ~src:tn ~dst:mn ~cost:(continuation_cost task m) ~cap:1)
+      | _ -> ()
+    end
+  in
+  let task_preempted (task : Cluster.Workload.task) =
+    (* Back to competing via its request aggregator. *)
+    match FN.task_node net task.Cluster.Workload.tid with
+    | None -> ()
+    | Some tn ->
+        (match FN.unscheduled_node net task.Cluster.Workload.job with
+        | Some u -> Policy.prune_task_arcs net task.Cluster.Workload.tid ~keep:[ u ]
+        | None -> ());
+        let ra = FN.ensure_request_agg net (task_bucket task) in
+        ignore (FN.set_or_add_arc net ~src:tn ~dst:ra ~cost:0 ~cap:1)
+  in
+  let machine_failed m =
+    FN.remove_machine net m;
+    drop_ra_arcs ~pred:(fun (_, m') -> m' = m)
+  in
+  let machine_restored m =
+    let info = Cluster.Topology.machine topo m in
+    ignore (FN.ensure_machine net m ~slots:info.Cluster.Topology.slots)
+  in
+  let refresh ~now =
+    let gr = FN.graph net in
+    (* First traversal: observe per-machine bandwidth and free slots. *)
+    let nic m = (Cluster.Topology.machine topo m).Cluster.Topology.net_capacity_mbps in
+    let spare = Hashtbl.create 64 in
+    Cluster.Topology.iter_machines topo (fun info ->
+        let m = info.Cluster.Topology.id in
+        if Cluster.State.machine_is_live cluster m then
+          Hashtbl.replace spare m (max 0 (nic m - used m)));
+    (* Second traversal: re-derive the dynamic RA -> machine arcs. "One
+       arc for each task that fits" (Fig. 6c): parallel unit arcs whose
+       costs rise by one request per additional task, so concurrent
+       placements see the bandwidth they would add to each other. *)
+    Hashtbl.iter
+      (fun b _count ->
+        match FN.ensure_request_agg net b with
+        | ra ->
+            Cluster.Topology.iter_machines topo (fun info ->
+                let m = info.Cluster.Topology.id in
+                match (FN.machine_node net m, Hashtbl.find_opt spare m) with
+                | Some mn, Some sp ->
+                    let fits = min (Cluster.State.free_slots_on cluster m) (sp / b) in
+                    let arcs =
+                      Option.value ~default:[||] (Hashtbl.find_opt ra_arcs (b, m))
+                    in
+                    let arcs = Array.to_list arcs in
+                    let existing = List.filter (fun a -> G.arc_is_live gr a) arcs in
+                    let n_existing = List.length existing in
+                    let keep, extra =
+                      if n_existing <= fits then (existing, [])
+                      else
+                        ( List.filteri (fun i _ -> i < fits) existing,
+                          List.filteri (fun i _ -> i >= fits) existing )
+                    in
+                    List.iter (fun a -> G.remove_arc gr a) extra;
+                    let added =
+                      List.init
+                        (max 0 (fits - List.length keep))
+                        (fun _ -> G.add_arc gr ~src:ra ~dst:mn ~cost:0 ~cap:1)
+                    in
+                    let all = keep @ added in
+                    List.iteri
+                      (fun i a -> G.set_cost gr a (((i + 1) * b) + used m))
+                      all;
+                    Hashtbl.replace ra_arcs (b, m) (Array.of_list all)
+                | _ -> ()))
+      bucket_refcount;
+    (* Keep continuation costs and unscheduled costs current. *)
+    Cluster.State.iter_tasks cluster (fun task ->
+        match Cluster.Workload.machine_of task with
+        | Some m -> (
+            match (FN.task_node net task.Cluster.Workload.tid, FN.machine_node net m) with
+            | Some tn, Some mn -> (
+                match FN.find_arc net tn mn with
+                | Some a -> G.set_cost gr a (continuation_cost task m)
+                | None -> ())
+            | _ -> ())
+        | None -> ());
+    List.iter
+      (fun (task : Cluster.Workload.task) ->
+        match FN.task_node net task.Cluster.Workload.tid with
+        | None -> ()
+        | Some tn -> (
+            match FN.unscheduled_node net task.Cluster.Workload.job with
+            | None -> ()
+            | Some u -> (
+                match FN.find_arc net tn u with
+                | Some a -> G.set_cost gr a (unsched_cost task ~now)
+                | None -> ())))
+      (Cluster.State.waiting_tasks cluster)
+  in
+  {
+    Policy.name = "network-aware";
+    task_submitted;
+    task_finished;
+    task_started;
+    task_preempted;
+    machine_failed;
+    machine_restored;
+    refresh;
+  }

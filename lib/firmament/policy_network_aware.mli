@@ -1,0 +1,33 @@
+(** Network-aware policy (paper Fig. 6c, §7.5).
+
+    Avoids overcommitting machines' network bandwidth: each task connects
+    to a {e request aggregator} for its bandwidth-request class; request
+    aggregators have arcs only to machines with enough spare bandwidth and
+    free slots, with cost [request + currently used bandwidth] so load
+    balances across lightly-loaded links. Arcs are re-derived from observed
+    bandwidth on every {!Policy.refresh}, which is how the policy reacts to
+    background traffic (the Fig. 19b experiment).
+
+    The observed per-machine bandwidth is obtained through the
+    [bandwidth_used] callback, so a network simulator (or a real cluster
+    monitor) can report flows the scheduler did not itself place. *)
+
+type config = {
+  bucket_mbps : int;  (** request classes are rounded up to this grain *)
+  unscheduled_base : int;
+  wait_cost_per_second : int;
+}
+
+val default_config : config
+
+(** [bucket_of ~config demand] is the request-aggregator class for a
+    demand in Mbps (minimum one bucket). *)
+val bucket_of : config:config -> int -> int
+
+val make :
+  ?config:config ->
+  ?bandwidth_used:(Cluster.Types.machine_id -> int) ->
+  drain:bool ->
+  Flow_network.t ->
+  Cluster.State.t ->
+  Policy.t

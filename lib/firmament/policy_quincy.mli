@@ -1,0 +1,38 @@
+(** Quincy's locality-oriented policy (paper Fig. 6b, after [22, §4.2]).
+
+    Batch tasks get low-cost {e preference arcs} to machines and racks that
+    hold at least a threshold fraction of their input data, and fall back
+    to the cluster aggregator [X] (wildcard placement, full remote read)
+    otherwise. Costs are proportional to the data that would have to be
+    transferred; the cost of waiting grows with time, and a running task's
+    arc to its current machine drops to zero (its input is already local),
+    so preemption happens only when the optimizer finds it worthwhile.
+
+    The {b preference threshold} is the knob of Fig. 15: Quincy's original
+    ~14 % (few arcs per task) versus 2 % (many fine-grained arcs, better
+    locality — affordable only because Firmament's solver scales). *)
+
+type config = {
+  preference_threshold : float;
+      (** minimum fraction of a task's input on a machine/rack to earn a
+          preference arc *)
+  rack_locality_discount : float;
+      (** fraction of the transfer cost saved by rack locality *)
+  unscheduled_base : int;
+  wait_cost_per_second : int;
+  service_priority_factor : int;
+      (** multiplier on service tasks' unscheduled cost: makes the
+          optimizer displace batch work for service jobs (Omega-style
+          priorities, §7.1) *)
+}
+
+val default_config : config
+
+(** [locality_fractions task] aggregates the task's input-block placements
+    into per-machine fractions (exposed for tests and the Fig. 15 locality
+    measurement). *)
+val locality_fractions :
+  Cluster.Workload.task -> (Cluster.Types.machine_id * float) list
+
+val make :
+  ?config:config -> drain:bool -> Flow_network.t -> Cluster.State.t -> Policy.t

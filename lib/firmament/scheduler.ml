@@ -1,0 +1,157 @@
+module FN = Flow_network
+
+let log = Logs.Src.create "firmament.scheduler" ~doc:"Firmament scheduling rounds"
+
+module Log = (val Logs.src_log log)
+
+type config = {
+  mode : Mcmf.Race.mode;
+  alpha : int;
+  price_refine : bool;
+  drain_on_removal : bool;
+}
+
+let default_config =
+  {
+    mode = Mcmf.Race.Fastest_sequential;
+    alpha = 9;
+    price_refine = true;
+    drain_on_removal = true;
+  }
+
+type round = {
+  winner : Mcmf.Race.winner;
+  solver_stats : Mcmf.Solver_intf.stats;
+  relaxation_stats : Mcmf.Solver_intf.stats option;
+  cost_scaling_stats : Mcmf.Solver_intf.stats option;
+  algorithm_runtime : float;
+  started : (Cluster.Types.task_id * Cluster.Types.machine_id) list;
+  migrated :
+    (Cluster.Types.task_id * Cluster.Types.machine_id * Cluster.Types.machine_id) list;
+  preempted : Cluster.Types.task_id list;
+  unscheduled : int;
+}
+
+type t = {
+  config : config;
+  cluster : Cluster.State.t;
+  net : FN.t;
+  policy : Policy.t;
+  race : Mcmf.Race.t;
+  assigned : (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t;
+}
+
+let create ?(config = default_config) cluster ~policy =
+  let net = FN.create () in
+  let p = policy ~drain:config.drain_on_removal net cluster in
+  {
+    config;
+    cluster;
+    net;
+    policy = p;
+    race =
+      Mcmf.Race.create ~alpha:config.alpha ~price_refine:config.price_refine
+        ~mode:config.mode ();
+    assigned = Hashtbl.create 1024;
+  }
+
+let network t = t.net
+let cluster t = t.cluster
+let policy_name t = t.policy.Policy.name
+
+let submit_job t job =
+  Cluster.State.submit_job t.cluster job;
+  Array.iter (fun task -> t.policy.Policy.task_submitted task) job.Cluster.Workload.tasks
+
+let finish_task t tid ~now =
+  Cluster.State.finish t.cluster tid ~now;
+  t.policy.Policy.task_finished (Cluster.State.task t.cluster tid);
+  Hashtbl.remove t.assigned tid
+
+let fail_machine t m =
+  let victims = Cluster.State.fail_machine t.cluster m in
+  t.policy.Policy.machine_failed m;
+  List.iter
+    (fun tid ->
+      Hashtbl.remove t.assigned tid;
+      t.policy.Policy.task_preempted (Cluster.State.task t.cluster tid))
+    victims
+
+let restore_machine t m =
+  Cluster.State.restore_machine t.cluster m;
+  t.policy.Policy.machine_restored m
+
+let schedule ?stop t ~now =
+  t.policy.Policy.refresh ~now;
+  let result = Mcmf.Race.solve ?stop t.race (FN.graph t.net) in
+  FN.set_graph t.net result.Mcmf.Race.graph;
+  let base =
+    {
+      winner = result.Mcmf.Race.winner;
+      solver_stats = result.Mcmf.Race.stats;
+      relaxation_stats = result.Mcmf.Race.relaxation_stats;
+      cost_scaling_stats = result.Mcmf.Race.cost_scaling_stats;
+      algorithm_runtime = result.Mcmf.Race.stats.Mcmf.Solver_intf.runtime;
+      started = [];
+      migrated = [];
+      preempted = [];
+      unscheduled = 0;
+    }
+  in
+  match result.Mcmf.Race.stats.Mcmf.Solver_intf.outcome with
+  | Mcmf.Solver_intf.Stopped | Mcmf.Solver_intf.Infeasible ->
+      { base with unscheduled = Cluster.State.waiting_count t.cluster }
+  | Mcmf.Solver_intf.Optimal ->
+      let placements = Placement.extract t.net in
+      (* Price refine runs on the untouched optimal solution, before the
+         placement diff mutates the graph (paper §6.2). *)
+      Mcmf.Race.prepare t.race (FN.graph t.net);
+      let starts = ref [] and migrations = ref [] and preempts = ref [] in
+      let unscheduled = ref 0 in
+      List.iter
+        (fun { Placement.task; machine } ->
+          match (Hashtbl.find_opt t.assigned task, machine) with
+          | None, Some m -> starts := (task, m) :: !starts
+          | Some m_old, Some m_new when m_old <> m_new ->
+              migrations := (task, m_old, m_new) :: !migrations
+          | Some _, Some _ -> ()
+          | Some _, None -> preempts := task :: !preempts
+          | None, None -> incr unscheduled)
+        placements;
+      (* Free slots first (preemptions and migration sources), then place. *)
+      List.iter
+        (fun tid ->
+          Cluster.State.preempt t.cluster tid;
+          Hashtbl.remove t.assigned tid;
+          t.policy.Policy.task_preempted (Cluster.State.task t.cluster tid))
+        !preempts;
+      List.iter (fun (tid, _, _) -> Cluster.State.preempt t.cluster tid) !migrations;
+      List.iter
+        (fun (tid, _, m_new) ->
+          Cluster.State.place t.cluster tid m_new ~now;
+          Hashtbl.replace t.assigned tid m_new;
+          t.policy.Policy.task_started (Cluster.State.task t.cluster tid) m_new)
+        !migrations;
+      List.iter
+        (fun (tid, m) ->
+          Cluster.State.place t.cluster tid m ~now;
+          Hashtbl.replace t.assigned tid m;
+          t.policy.Policy.task_started (Cluster.State.task t.cluster tid) m)
+        !starts;
+      Log.debug (fun m ->
+          m "round@%.3f: %s won in %.4fs; %d started, %d migrated, %d preempted, %d waiting"
+            now
+            (match result.Mcmf.Race.winner with
+            | Mcmf.Race.Relaxation -> "relaxation"
+            | Mcmf.Race.Cost_scaling -> "cost scaling")
+            base.algorithm_runtime (List.length !starts) (List.length !migrations)
+            (List.length !preempts) !unscheduled);
+      {
+        base with
+        started = List.rev !starts;
+        migrated = List.rev !migrations;
+        preempted = List.rev !preempts;
+        unscheduled = !unscheduled;
+      }
+
+let assignments t = t.assigned

@@ -1,0 +1,71 @@
+(** The Firmament scheduler (paper Fig. 4).
+
+    Owns the scheduling flow network, a {!Policy.t} that keeps it in sync
+    with cluster events, and the {!Mcmf.Race} solver orchestrator. Each
+    {!schedule} call performs one flow-based scheduling round (paper
+    Fig. 2b): refresh policy statistics, run the solver(s), adopt the
+    winning solution, extract placements, and apply the diff against the
+    current assignment (task starts, migrations, preemptions).
+
+    Configured with [mode = Cost_scaling_scratch_only] and the Quincy
+    policy, this {e is} the paper's Quincy baseline (§7.1). *)
+
+type config = {
+  mode : Mcmf.Race.mode;
+  alpha : int;  (** cost scaling's ε-division factor (paper tunes 9) *)
+  price_refine : bool;  (** §6.2 switching optimization *)
+  drain_on_removal : bool;  (** §5.3.2 efficient task removal *)
+}
+
+val default_config : config
+
+(** What one scheduling round did. *)
+type round = {
+  winner : Mcmf.Race.winner;
+  solver_stats : Mcmf.Solver_intf.stats;
+  relaxation_stats : Mcmf.Solver_intf.stats option;
+  cost_scaling_stats : Mcmf.Solver_intf.stats option;
+  algorithm_runtime : float;  (** the winner's wall-clock solve time *)
+  started : (Cluster.Types.task_id * Cluster.Types.machine_id) list;
+  migrated :
+    (Cluster.Types.task_id * Cluster.Types.machine_id * Cluster.Types.machine_id) list;
+      (** (task, from, to) *)
+  preempted : Cluster.Types.task_id list;
+  unscheduled : int;  (** live tasks left waiting by this round *)
+}
+
+type t
+
+(** [create ?config cluster ~policy] builds a scheduler. [policy] is a
+    factory ({!Policy_quincy.make}-style) invoked with the network this
+    scheduler owns. *)
+val create :
+  ?config:config ->
+  Cluster.State.t ->
+  policy:(drain:bool -> Flow_network.t -> Cluster.State.t -> Policy.t) ->
+  t
+
+val network : t -> Flow_network.t
+val cluster : t -> Cluster.State.t
+val policy_name : t -> string
+
+(** {1 Cluster events} — keep the policy's graph in sync. *)
+
+val submit_job : t -> Cluster.Workload.job -> unit
+val finish_task : t -> Cluster.Types.task_id -> now:float -> unit
+
+(** [fail_machine t m] kills the machine; its tasks return to the wait
+    queue and will be rescheduled by the next round. *)
+val fail_machine : t -> Cluster.Types.machine_id -> unit
+
+val restore_machine : t -> Cluster.Types.machine_id -> unit
+
+(** {1 Scheduling} *)
+
+(** [schedule ?stop t ~now] runs one round. With a [stop] that fires
+    mid-solve the round applies no changes and reports the partial stats. *)
+val schedule : ?stop:Mcmf.Solver_intf.stop -> t -> now:float -> round
+
+(** Current task → machine assignment (running tasks only). *)
+val assignments :
+  t -> (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t

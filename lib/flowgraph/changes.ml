@@ -1,0 +1,45 @@
+type effect = { breaks_feasibility : bool; breaks_optimality : bool }
+
+let no_effect = { breaks_feasibility = false; breaks_optimality = false }
+
+let ( ||| ) a b =
+  {
+    breaks_feasibility = a.breaks_feasibility || b.breaks_feasibility;
+    breaks_optimality = a.breaks_optimality || b.breaks_optimality;
+  }
+
+let capacity_change ~reduced_cost ~flow ~old_cap ~new_cap =
+  if new_cap > old_cap then
+    { breaks_feasibility = false; breaks_optimality = reduced_cost < 0 }
+  else if new_cap < old_cap then
+    { breaks_feasibility = flow > new_cap; breaks_optimality = false }
+  else no_effect
+
+let cost_change ~reduced_cost_after ~flow ~forward_rescap =
+  let bad_forward = reduced_cost_after < 0 && forward_rescap > 0 in
+  let bad_flow = reduced_cost_after > 0 && flow > 0 in
+  { breaks_feasibility = false; breaks_optimality = bad_forward || bad_flow }
+
+let supply_change ~delta =
+  { breaks_feasibility = delta <> 0; breaks_optimality = false }
+
+let classify_arc g a ~f =
+  let rc0 = Graph.reduced_cost g a in
+  let flow0 = Graph.flow g a in
+  let cap0 = Graph.capacity g a in
+  let cost0 = Graph.cost g a in
+  f ();
+  let cap1 = Graph.capacity g a in
+  let cost1 = Graph.cost g a in
+  let eff_cap =
+    if cap1 <> cap0 then
+      capacity_change ~reduced_cost:rc0 ~flow:flow0 ~old_cap:cap0 ~new_cap:cap1
+    else no_effect
+  in
+  let eff_cost =
+    if cost1 <> cost0 then
+      cost_change ~reduced_cost_after:(Graph.reduced_cost g a)
+        ~flow:(Graph.flow g a) ~forward_rescap:(Graph.rescap g a)
+    else no_effect
+  in
+  eff_cap ||| eff_cost

@@ -1,0 +1,42 @@
+(** Classification of graph changes (paper §5.2, Table 3).
+
+    Every cluster event reduces to one of three graph-change types — supply,
+    capacity, or cost changes. A change may invalidate the {e feasibility}
+    of the current flow (some excess becomes non-zero) and/or its
+    {e optimality} (complementary slackness stops holding). Incremental
+    solvers use this classification to decide how much work a batch of
+    changes forces them to redo. *)
+
+type effect = {
+  breaks_feasibility : bool;
+  breaks_optimality : bool;
+}
+
+val no_effect : effect
+val ( ||| ) : effect -> effect -> effect
+
+(** [capacity_change ~reduced_cost ~flow ~old_cap ~new_cap] classifies
+    resizing an arc, given its current reduced cost and flow.
+
+    - Increasing capacity creates forward residual capacity; this breaks
+      complementary slackness iff the reduced cost is negative.
+    - Decreasing capacity below the current flow forces the overflow back
+      into the endpoint excesses, breaking feasibility. *)
+val capacity_change :
+  reduced_cost:int -> flow:int -> old_cap:int -> new_cap:int -> effect
+
+(** [cost_change ~reduced_cost_after ~flow ~forward_rescap] classifies a
+    cost change: optimality breaks iff the new reduced cost is negative on
+    an arc with forward residual capacity, or positive on an arc carrying
+    flow. Cost changes never break feasibility. *)
+val cost_change :
+  reduced_cost_after:int -> flow:int -> forward_rescap:int -> effect
+
+(** [supply_change ~delta] classifies changing a node's supply: any
+    non-zero delta shifts the node's excess and breaks feasibility. *)
+val supply_change : delta:int -> effect
+
+(** [classify_arc g a ~f] applies the mutation [f] (which must only touch
+    arc [a]) and returns the classified effect, computed from the state
+    before and after. Convenience for tests and the graph manager. *)
+val classify_arc : Graph.t -> Graph.arc -> f:(unit -> unit) -> effect

@@ -1,0 +1,99 @@
+let fail fmt = Format.kasprintf failwith fmt
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+let parse lines =
+  let g = Graph.create () in
+  let nodes = ref [||] in
+  let expect_int s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail "Dimacs.parse: expected integer, got %S" s
+  in
+  let node id =
+    if id < 1 || id > Array.length !nodes then fail "Dimacs.parse: node id %d out of range" id;
+    !nodes.(id - 1)
+  in
+  let seen_problem = ref false in
+  List.iter
+    (fun line ->
+      match tokens line with
+      | [] | "c" :: _ -> ()
+      | [ "p"; "min"; n; _m ] ->
+          if !seen_problem then fail "Dimacs.parse: duplicate problem line";
+          seen_problem := true;
+          let n = expect_int n in
+          nodes := Array.init n (fun _ -> Graph.add_node g ~supply:0)
+      | [ "n"; id; supply ] ->
+          let nd = node (expect_int id) in
+          Graph.set_supply g nd (expect_int supply)
+      | [ "a"; src; dst; low; cap; cost ] ->
+          if expect_int low <> 0 then fail "Dimacs.parse: non-zero lower bounds unsupported";
+          ignore
+            (Graph.add_arc g ~src:(node (expect_int src)) ~dst:(node (expect_int dst))
+               ~cost:(expect_int cost) ~cap:(expect_int cap))
+      | t :: _ -> fail "Dimacs.parse: unsupported record %S" t)
+    lines;
+  if not !seen_problem then fail "Dimacs.parse: missing problem line";
+  ignore (Graph.take_changes g);
+  (g, !nodes)
+
+let parse_string s = parse (String.split_on_char '\n' s)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      parse (read []))
+
+(* Dense renumbering: live node handles -> 1..N in iteration order. *)
+let dense_ids g =
+  let ids = Hashtbl.create 64 in
+  let next = ref 0 in
+  Graph.iter_nodes g (fun n ->
+      incr next;
+      Hashtbl.add ids n !next);
+  ids
+
+let emit g =
+  let buf = Buffer.create 1024 in
+  let ids = dense_ids g in
+  Buffer.add_string buf
+    (Printf.sprintf "p min %d %d\n" (Graph.node_count g) (Graph.arc_count g));
+  Graph.iter_nodes g (fun n ->
+      let b = Graph.supply g n in
+      if b <> 0 then Buffer.add_string buf (Printf.sprintf "n %d %d\n" (Hashtbl.find ids n) b));
+  Graph.iter_arcs g (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "a %d %d 0 %d %d\n"
+           (Hashtbl.find ids (Graph.src g a))
+           (Hashtbl.find ids (Graph.dst g a))
+           (Graph.capacity g a) (Graph.cost g a)));
+  Buffer.contents buf
+
+let save path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (emit g))
+
+let emit_solution g =
+  let buf = Buffer.create 1024 in
+  let ids = dense_ids g in
+  Buffer.add_string buf (Printf.sprintf "s %d\n" (Graph.total_cost g));
+  Graph.iter_arcs g (fun a ->
+      let f = Graph.flow g a in
+      if f > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "f %d %d %d\n"
+             (Hashtbl.find ids (Graph.src g a))
+             (Hashtbl.find ids (Graph.dst g a))
+             f));
+  Buffer.contents buf

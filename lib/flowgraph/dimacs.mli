@@ -1,0 +1,27 @@
+(** DIMACS minimum-cost flow format I/O.
+
+    The standard interchange format for MCMF instances (used by the DIMACS
+    implementation challenge, cs2, and the Firmament/Flowlessly solvers).
+    Lets the test suite ship golden instances and lets users debug graphs
+    with external solvers.
+
+    Node ids in the format are 1-based; they are mapped to fresh 0-based
+    {!Graph.node} handles on parse. *)
+
+(** [parse lines] builds a graph from DIMACS lines ([p]/[n]/[a]/[c] records).
+    Returns the graph and the dense array mapping DIMACS id - 1 to graph
+    node. @raise Failure on malformed input or unsupported lower bounds. *)
+val parse : string list -> Graph.t * Graph.node array
+
+val parse_string : string -> Graph.t * Graph.node array
+val load : string -> Graph.t * Graph.node array
+
+(** [emit g] renders [g] (supplies, arcs, costs, capacities) as DIMACS
+    lines; flow is not emitted. Node ids are renumbered densely. *)
+val emit : Graph.t -> string
+
+val save : string -> Graph.t -> unit
+
+(** [emit_solution g] renders the current flow as DIMACS [s]/[f] lines
+    (objective value plus one line per arc with positive flow). *)
+val emit_solution : Graph.t -> string

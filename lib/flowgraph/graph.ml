@@ -1,0 +1,428 @@
+type node = int
+type arc = int
+
+(* Struct-of-arrays layout. Residual arcs come in pairs: forward at even
+   index [a], reverse at [a lxor 1]. Adjacency is a doubly-linked list of
+   residual arc ids threaded through [next_out]/[prev_out], headed at
+   [first_out.(n)], so arc removal is O(1). *)
+type t = {
+  (* per node *)
+  supply : int Vec.t;
+  excess : int Vec.t;
+  potential : int Vec.t;
+  first_out : int Vec.t; (* head of out-list, -1 if empty *)
+  node_live : bool Vec.t;
+  free_nodes : int Vec.t;
+  mutable live_nodes : int;
+  (* per residual arc *)
+  head : int Vec.t; (* destination of the residual arc *)
+  arc_cost : int Vec.t;
+  rescap : int Vec.t;
+  next_out : int Vec.t;
+  prev_out : int Vec.t; (* -1 means "I am the list head" *)
+  (* Active adjacency: per-node list of residual arcs with rescap > 0,
+     maintained on every residual-capacity transition. *)
+  first_active : int Vec.t;
+  next_active : int Vec.t;
+  prev_active : int Vec.t;
+  active_flag : bool Vec.t;
+  arc_live : bool Vec.t;
+  free_pairs : int Vec.t; (* even base index of each free pair *)
+  mutable live_arcs : int; (* forward arcs only *)
+  (* change tracking *)
+  mutable ch_structural : int;
+  mutable ch_cost : int;
+  mutable ch_capacity : int;
+  mutable ch_supply : int;
+  mutable ch_max_cost : int;
+}
+
+type change_summary = {
+  structural : int;
+  cost_changes : int;
+  capacity_changes : int;
+  supply_changes : int;
+  max_changed_cost : int;
+}
+
+let no_changes =
+  {
+    structural = 0;
+    cost_changes = 0;
+    capacity_changes = 0;
+    supply_changes = 0;
+    max_changed_cost = 0;
+  }
+
+let create ?(node_hint = 16) ?(arc_hint = 64) () =
+  ignore node_hint;
+  ignore arc_hint;
+  {
+    supply = Vec.create ~dummy:0;
+    excess = Vec.create ~dummy:0;
+    potential = Vec.create ~dummy:0;
+    first_out = Vec.create ~dummy:(-1);
+    node_live = Vec.create ~dummy:false;
+    free_nodes = Vec.create ~dummy:(-1);
+    live_nodes = 0;
+    head = Vec.create ~dummy:(-1);
+    arc_cost = Vec.create ~dummy:0;
+    rescap = Vec.create ~dummy:0;
+    next_out = Vec.create ~dummy:(-1);
+    prev_out = Vec.create ~dummy:(-1);
+    first_active = Vec.create ~dummy:(-1);
+    next_active = Vec.create ~dummy:(-1);
+    prev_active = Vec.create ~dummy:(-1);
+    active_flag = Vec.create ~dummy:false;
+    arc_live = Vec.create ~dummy:false;
+    free_pairs = Vec.create ~dummy:(-1);
+    live_arcs = 0;
+    ch_structural = 0;
+    ch_cost = 0;
+    ch_capacity = 0;
+    ch_supply = 0;
+    ch_max_cost = 0;
+  }
+
+let node_bound g = Vec.length g.supply
+let node_count g = g.live_nodes
+let node_is_live g n = n >= 0 && n < node_bound g && Vec.get g.node_live n
+let arc_bound g = Vec.length g.head
+let arc_count g = g.live_arcs
+let arc_is_live g a = a >= 0 && a < arc_bound g && Vec.get g.arc_live a
+
+let check_node g n ctx = if not (node_is_live g n) then invalid_arg ("Graph: dead node in " ^ ctx)
+let check_arc g a ctx = if not (arc_is_live g a) then invalid_arg ("Graph: dead arc in " ^ ctx)
+
+let note_cost_change g c =
+  g.ch_cost <- g.ch_cost + 1;
+  if abs c > g.ch_max_cost then g.ch_max_cost <- abs c
+
+let add_node g ~supply =
+  g.ch_structural <- g.ch_structural + 1;
+  g.live_nodes <- g.live_nodes + 1;
+  if Vec.is_empty g.free_nodes then begin
+    let n = Vec.push g.supply supply in
+    ignore (Vec.push g.excess supply);
+    ignore (Vec.push g.potential 0);
+    ignore (Vec.push g.first_out (-1));
+    ignore (Vec.push g.first_active (-1));
+    ignore (Vec.push g.node_live true);
+    n
+  end
+  else begin
+    let n = Vec.pop g.free_nodes in
+    Vec.set g.supply n supply;
+    Vec.set g.excess n supply;
+    Vec.set g.potential n 0;
+    Vec.set g.first_out n (-1);
+    Vec.set g.first_active n (-1);
+    Vec.set g.node_live n true;
+    n
+  end
+
+let rev a = a lxor 1
+let is_forward a = a land 1 = 0
+let dst g a = Vec.get g.head a
+let src g a = Vec.get g.head (rev a)
+let cost g a = Vec.get g.arc_cost a
+let rescap g a = Vec.get g.rescap a
+
+let flow g a =
+  if not (is_forward a) then invalid_arg "Graph.flow: reverse arc";
+  Vec.get g.rescap (rev a)
+
+let capacity g a =
+  if not (is_forward a) then invalid_arg "Graph.capacity: reverse arc";
+  Vec.get g.rescap a + Vec.get g.rescap (rev a)
+
+let supply g n = Vec.get g.supply n
+
+let set_supply g n b =
+  check_node g n "set_supply";
+  let old = Vec.get g.supply n in
+  if b <> old then begin
+    Vec.set g.supply n b;
+    Vec.set g.excess n (Vec.get g.excess n + b - old);
+    g.ch_supply <- g.ch_supply + 1
+  end
+
+let excess g n = Vec.get g.excess n
+let potential g n = Vec.get g.potential n
+let set_potential g n p = Vec.set g.potential n p
+
+let reduced_cost g a =
+  Vec.get g.arc_cost a - Vec.get g.potential (src g a) + Vec.get g.potential (dst g a)
+
+(* Link residual arc [a] (with head already set) into [from]'s out-list. *)
+let link_out g ~from a =
+  let h = Vec.get g.first_out from in
+  Vec.set g.next_out a h;
+  Vec.set g.prev_out a (-1);
+  if h >= 0 then Vec.set g.prev_out h a;
+  Vec.set g.first_out from a
+
+let unlink_out g ~from a =
+  let p = Vec.get g.prev_out a and n = Vec.get g.next_out a in
+  if p >= 0 then Vec.set g.next_out p n else Vec.set g.first_out from n;
+  if n >= 0 then Vec.set g.prev_out n p;
+  Vec.set g.next_out a (-1);
+  Vec.set g.prev_out a (-1)
+
+(* Insert residual arc [a] (tail [from]) into the active list. *)
+let activate g ~from a =
+  if not (Vec.get g.active_flag a) then begin
+    Vec.set g.active_flag a true;
+    let h = Vec.get g.first_active from in
+    Vec.set g.next_active a h;
+    Vec.set g.prev_active a (-1);
+    if h >= 0 then Vec.set g.prev_active h a;
+    Vec.set g.first_active from a
+  end
+
+let deactivate g ~from a =
+  if Vec.get g.active_flag a then begin
+    Vec.set g.active_flag a false;
+    let p = Vec.get g.prev_active a and n = Vec.get g.next_active a in
+    if p >= 0 then Vec.set g.next_active p n else Vec.set g.first_active from n;
+    if n >= 0 then Vec.set g.prev_active n p;
+    Vec.set g.next_active a (-1);
+    Vec.set g.prev_active a (-1)
+  end
+
+(* Reconcile arc [a]'s active-list membership with its residual capacity. *)
+let sync_active g a =
+  let from = Vec.get g.head (rev a) in
+  if Vec.get g.rescap a > 0 then activate g ~from a else deactivate g ~from a
+
+let add_arc g ~src:s ~dst:d ~cost:c ~cap =
+  if cap < 0 then invalid_arg "Graph.add_arc: negative capacity";
+  check_node g s "add_arc";
+  check_node g d "add_arc";
+  g.ch_structural <- g.ch_structural + 1;
+  if abs c > g.ch_max_cost then g.ch_max_cost <- abs c;
+  g.live_arcs <- g.live_arcs + 1;
+  let a =
+    if Vec.is_empty g.free_pairs then begin
+      let a = Vec.push g.head d in
+      ignore (Vec.push g.head s);
+      ignore (Vec.push g.arc_cost c);
+      ignore (Vec.push g.arc_cost (-c));
+      ignore (Vec.push g.rescap cap);
+      ignore (Vec.push g.rescap 0);
+      ignore (Vec.push g.next_out (-1));
+      ignore (Vec.push g.next_out (-1));
+      ignore (Vec.push g.prev_out (-1));
+      ignore (Vec.push g.prev_out (-1));
+      ignore (Vec.push g.next_active (-1));
+      ignore (Vec.push g.next_active (-1));
+      ignore (Vec.push g.prev_active (-1));
+      ignore (Vec.push g.prev_active (-1));
+      ignore (Vec.push g.active_flag false);
+      ignore (Vec.push g.active_flag false);
+      ignore (Vec.push g.arc_live true);
+      ignore (Vec.push g.arc_live true);
+      a
+    end
+    else begin
+      let a = Vec.pop g.free_pairs in
+      Vec.set g.head a d;
+      Vec.set g.head (a + 1) s;
+      Vec.set g.arc_cost a c;
+      Vec.set g.arc_cost (a + 1) (-c);
+      Vec.set g.rescap a cap;
+      Vec.set g.rescap (a + 1) 0;
+      Vec.set g.arc_live a true;
+      Vec.set g.arc_live (a + 1) true;
+      a
+    end
+  in
+  link_out g ~from:s a;
+  link_out g ~from:d (a + 1);
+  sync_active g a;
+  sync_active g (a + 1);
+  a
+
+let remove_arc g a0 =
+  check_arc g a0 "remove_arc";
+  let a = a0 land lnot 1 in
+  (* Credit flow back to the endpoints. Removing an arc carrying f units
+     means src regains f of outflow (excess rises) and dst loses f of
+     inflow (excess falls). *)
+  let f = Vec.get g.rescap (a + 1) in
+  let s = Vec.get g.head (a + 1) and d = Vec.get g.head a in
+  if f > 0 then begin
+    Vec.set g.excess s (Vec.get g.excess s + f);
+    Vec.set g.excess d (Vec.get g.excess d - f)
+  end;
+  deactivate g ~from:s a;
+  deactivate g ~from:d (a + 1);
+  unlink_out g ~from:s a;
+  unlink_out g ~from:d (a + 1);
+  Vec.set g.arc_live a false;
+  Vec.set g.arc_live (a + 1) false;
+  g.live_arcs <- g.live_arcs - 1;
+  g.ch_structural <- g.ch_structural + 1;
+  ignore (Vec.push g.free_pairs a)
+
+let remove_node g n =
+  check_node g n "remove_node";
+  (* Each incident pair appears exactly once in n's out-list (the forward
+     member for arcs leaving n, the reverse member for arcs entering). *)
+  let rec drop () =
+    let a = Vec.get g.first_out n in
+    if a >= 0 then begin
+      remove_arc g a;
+      drop ()
+    end
+  in
+  drop ();
+  Vec.set g.node_live n false;
+  Vec.set g.first_active n (-1);
+  Vec.set g.supply n 0;
+  Vec.set g.excess n 0;
+  Vec.set g.potential n 0;
+  g.live_nodes <- g.live_nodes - 1;
+  g.ch_structural <- g.ch_structural + 1;
+  ignore (Vec.push g.free_nodes n)
+
+let set_cost g a c =
+  check_arc g a "set_cost";
+  if not (is_forward a) then invalid_arg "Graph.set_cost: reverse arc";
+  if Vec.get g.arc_cost a <> c then begin
+    Vec.set g.arc_cost a c;
+    Vec.set g.arc_cost (rev a) (-c);
+    note_cost_change g c
+  end
+
+let set_capacity g a u =
+  check_arc g a "set_capacity";
+  if not (is_forward a) then invalid_arg "Graph.set_capacity: reverse arc";
+  if u < 0 then invalid_arg "Graph.set_capacity: negative capacity";
+  let f = Vec.get g.rescap (rev a) in
+  g.ch_capacity <- g.ch_capacity + 1;
+  if u >= f then Vec.set g.rescap a (u - f)
+  else begin
+    (* Push the overflow back: the arc now carries exactly u. *)
+    let over = f - u in
+    let s = src g a and d = dst g a in
+    Vec.set g.rescap (rev a) u;
+    Vec.set g.rescap a 0;
+    Vec.set g.excess s (Vec.get g.excess s + over);
+    Vec.set g.excess d (Vec.get g.excess d - over)
+  end;
+  sync_active g a;
+  sync_active g (rev a)
+
+let push g a d =
+  if d < 0 then invalid_arg "Graph.push: negative amount";
+  if d > Vec.get g.rescap a then invalid_arg "Graph.push: exceeds residual capacity";
+  if d > 0 then begin
+    let s = src g a and t = dst g a in
+    Vec.set g.rescap a (Vec.get g.rescap a - d);
+    Vec.set g.rescap (rev a) (Vec.get g.rescap (rev a) + d);
+    Vec.set g.excess s (Vec.get g.excess s - d);
+    Vec.set g.excess t (Vec.get g.excess t + d);
+    if Vec.get g.rescap a = 0 then deactivate g ~from:s a;
+    activate g ~from:t (rev a)
+  end
+
+let iter_out g n f =
+  let rec go a =
+    if a >= 0 then begin
+      let nxt = Vec.get g.next_out a in
+      f a;
+      go nxt
+    end
+  in
+  go (Vec.get g.first_out n)
+
+let first_out g n = Vec.get g.first_out n
+let next_out g a = Vec.get g.next_out a
+let first_active g n = Vec.get g.first_active n
+let next_active g a = Vec.get g.next_active a
+
+let iter_nodes g f =
+  for n = 0 to node_bound g - 1 do
+    if Vec.get g.node_live n then f n
+  done
+
+let iter_arcs g f =
+  let bound = arc_bound g in
+  let a = ref 0 in
+  while !a < bound do
+    if Vec.get g.arc_live !a then f !a;
+    a := !a + 2
+  done
+
+let out_degree g n =
+  let d = ref 0 in
+  iter_out g n (fun _ -> incr d);
+  !d
+
+let total_cost g =
+  let acc = ref 0 in
+  iter_arcs g (fun a -> acc := !acc + (cost g a * flow g a));
+  !acc
+
+let max_arc_cost g =
+  let m = ref 0 in
+  iter_arcs g (fun a -> if abs (cost g a) > !m then m := abs (cost g a));
+  !m
+
+let reset_flow g =
+  iter_arcs g (fun a ->
+      let u = capacity g a in
+      Vec.set g.rescap a u;
+      Vec.set g.rescap (rev a) 0;
+      sync_active g a;
+      sync_active g (rev a));
+  iter_nodes g (fun n ->
+      Vec.set g.excess n (Vec.get g.supply n);
+      Vec.set g.potential n 0)
+
+let copy g =
+  {
+    supply = Vec.copy g.supply;
+    excess = Vec.copy g.excess;
+    potential = Vec.copy g.potential;
+    first_out = Vec.copy g.first_out;
+    node_live = Vec.copy g.node_live;
+    free_nodes = Vec.copy g.free_nodes;
+    live_nodes = g.live_nodes;
+    head = Vec.copy g.head;
+    arc_cost = Vec.copy g.arc_cost;
+    rescap = Vec.copy g.rescap;
+    next_out = Vec.copy g.next_out;
+    prev_out = Vec.copy g.prev_out;
+    first_active = Vec.copy g.first_active;
+    next_active = Vec.copy g.next_active;
+    prev_active = Vec.copy g.prev_active;
+    active_flag = Vec.copy g.active_flag;
+    arc_live = Vec.copy g.arc_live;
+    free_pairs = Vec.copy g.free_pairs;
+    live_arcs = g.live_arcs;
+    ch_structural = g.ch_structural;
+    ch_cost = g.ch_cost;
+    ch_capacity = g.ch_capacity;
+    ch_supply = g.ch_supply;
+    ch_max_cost = g.ch_max_cost;
+  }
+
+let peek_changes g =
+  {
+    structural = g.ch_structural;
+    cost_changes = g.ch_cost;
+    capacity_changes = g.ch_capacity;
+    supply_changes = g.ch_supply;
+    max_changed_cost = g.ch_max_cost;
+  }
+
+let take_changes g =
+  let s = peek_changes g in
+  g.ch_structural <- 0;
+  g.ch_cost <- 0;
+  g.ch_capacity <- 0;
+  g.ch_supply <- 0;
+  g.ch_max_cost <- 0;
+  s

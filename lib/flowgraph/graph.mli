@@ -1,0 +1,190 @@
+(** Mutable flow networks with paired residual arcs.
+
+    The graph stores the {e residual network} directly: every call to
+    {!add_arc} creates a pair of residual arcs — a forward arc at an even
+    index [a] holding the unused capacity, and its reverse at [a lxor 1]
+    holding the flow (so reverse residual capacity {e is} the flow on the
+    forward arc). Costs on the reverse arc are the negation of the forward
+    cost. This is the representation every MCMF algorithm in {!Mcmf}
+    operates on.
+
+    The graph also maintains, per node:
+    - the {e supply} [b(i)] (positive at sources, negative at sinks);
+    - the {e excess} [b(i) - net outflow], kept up to date by {!push},
+      {!set_supply}, arc removal and capacity reduction. A flow is
+      {e feasible} iff every excess is zero;
+    - the dual {e potential} [pi(i)], shared by solvers so that incremental
+      re-optimization and price refine can warm-start from previous duals.
+
+    Nodes and arcs are plain integer handles; removed handles are recycled,
+    so holding a handle across a removal is a bug. Handle validity can be
+    checked with {!node_is_live} and {!arc_is_live}. *)
+
+type node = int
+type arc = int
+
+type t
+
+(** [create ()] is an empty graph. [node_hint]/[arc_hint] pre-size internal
+    storage. *)
+val create : ?node_hint:int -> ?arc_hint:int -> unit -> t
+
+(** {1 Nodes} *)
+
+(** [add_node g ~supply] creates a node with the given supply and zero
+    potential. *)
+val add_node : t -> supply:int -> node
+
+(** [remove_node g n] removes [n] and every incident arc pair. Flow carried
+    by removed arcs is credited back to the surviving endpoints' excesses
+    (paper §5.2: removals manifest as supply changes). *)
+val remove_node : t -> node -> unit
+
+(** [node_bound g] is an exclusive upper bound on live node ids — size
+    scratch arrays with this. *)
+val node_bound : t -> int
+
+(** [node_count g] is the number of live nodes. *)
+val node_count : t -> int
+
+val node_is_live : t -> node -> bool
+val supply : t -> node -> int
+
+(** [set_supply g n b] updates the supply, shifting the node's excess by
+    the same delta. *)
+val set_supply : t -> node -> int -> unit
+
+val excess : t -> node -> int
+val potential : t -> node -> int
+val set_potential : t -> node -> int -> unit
+val iter_nodes : t -> (node -> unit) -> unit
+
+(** {1 Arcs} *)
+
+(** [add_arc g ~src ~dst ~cost ~cap] creates a forward/reverse residual
+    pair carrying zero flow and returns the forward (even) arc.
+    @raise Invalid_argument if [cap < 0] or an endpoint is dead. *)
+val add_arc : t -> src:node -> dst:node -> cost:int -> cap:int -> arc
+
+(** [remove_arc g a] removes the pair containing [a]; any flow on it is
+    credited back to the endpoints' excesses. *)
+val remove_arc : t -> arc -> unit
+
+val arc_is_live : t -> arc -> bool
+
+(** [arc_count g] is the number of live forward arcs. *)
+val arc_count : t -> int
+
+(** [arc_bound g] is an exclusive upper bound on live residual arc ids. *)
+val arc_bound : t -> int
+
+val src : t -> arc -> node
+val dst : t -> arc -> node
+
+(** [rev a] is the other member of [a]'s residual pair. *)
+val rev : arc -> arc
+
+(** [is_forward a] is [true] on the even, capacity-carrying member. *)
+val is_forward : arc -> bool
+
+val cost : t -> arc -> int
+
+(** [rescap g a] is the residual capacity of residual arc [a]. *)
+val rescap : t -> arc -> int
+
+(** [flow g a] is the flow on forward arc [a] (i.e. [rescap g (rev a)]).
+    @raise Invalid_argument on a reverse arc. *)
+val flow : t -> arc -> int
+
+(** [capacity g a] is the upper bound of forward arc [a]. *)
+val capacity : t -> arc -> int
+
+(** [reduced_cost g a] is [cost a - pi (src a) + pi (dst a)]. *)
+val reduced_cost : t -> arc -> int
+
+(** [set_cost g a c] sets the forward cost to [c] (reverse to [-c]).
+    @raise Invalid_argument on a reverse arc. *)
+val set_cost : t -> arc -> int -> unit
+
+(** [set_capacity g a u] resizes forward arc [a] to upper bound [u]. If the
+    current flow exceeds [u], the overflow is pushed back into the
+    endpoints' excesses (breaking feasibility, which the next incremental
+    solve repairs — paper Table 3). *)
+val set_capacity : t -> arc -> int -> unit
+
+(** [push g a d] sends [d >= 0] units along residual arc [a], updating both
+    residual capacities and the endpoint excesses.
+    @raise Invalid_argument if [d] exceeds the residual capacity. *)
+val push : t -> arc -> int -> unit
+
+(** [iter_out g n f] applies [f] to every residual out-arc of [n] (both
+    forward arcs leaving [n] and reverses of arcs entering it), regardless
+    of residual capacity. *)
+val iter_out : t -> node -> (arc -> unit) -> unit
+
+(** [first_out g n] / [next_out g a] walk [n]'s residual out-list without
+    allocating a closure ([-1] terminates). Hot-loop variant of
+    {!iter_out}; the list is invalidated by arc insertion or removal at
+    [n]. *)
+val first_out : t -> node -> arc
+
+val next_out : t -> arc -> arc
+
+(** [first_active g n] / [next_active g a] walk the {e active} residual
+    out-list of [n]: only arcs with positive residual capacity. Maintained
+    incrementally by {!push}, {!set_capacity}, {!add_arc}, {!remove_arc}
+    and {!reset_flow}. Scheduling graphs have high-degree aggregator nodes
+    whose out-lists are dominated by zero-residual reverse arcs; shortest
+    path and relaxation scans only ever need residual arcs, so walking the
+    active list instead is the difference between O(active degree) and
+    O(total degree) per scan. The list must not be mutated (no pushes on
+    the scanned node's arcs) while being walked. *)
+val first_active : t -> node -> arc
+
+val next_active : t -> arc -> arc
+
+(** [iter_arcs g f] applies [f] to every live forward arc. *)
+val iter_arcs : t -> (arc -> unit) -> unit
+
+val out_degree : t -> node -> int
+
+(** {1 Whole-graph operations} *)
+
+(** [total_cost g] is the primal objective: sum of [cost a * flow a] over
+    forward arcs. *)
+val total_cost : t -> int
+
+(** [max_arc_cost g] is the largest absolute forward-arc cost (the [C] in
+    complexity bounds), 0 if arcless. *)
+val max_arc_cost : t -> int
+
+(** [reset_flow g] zeroes all flow and potentials and restores every
+    excess to its supply. *)
+val reset_flow : t -> unit
+
+(** [copy g] is a deep copy, safe to mutate from another domain. *)
+val copy : t -> t
+
+(** {1 Change tracking}
+
+    Mutators accumulate a summary used by incremental solvers to warm-start
+    (e.g. the ε at which incremental cost scaling must restart is bounded by
+    the costliest changed arc — paper §6.2). *)
+
+type change_summary = {
+  structural : int;  (** node/arc additions and removals *)
+  cost_changes : int;
+  capacity_changes : int;
+  supply_changes : int;
+  max_changed_cost : int;
+      (** max |cost| over arcs whose cost changed or that were added *)
+}
+
+val no_changes : change_summary
+
+(** [take_changes g] returns the summary accumulated since the last call
+    and resets it. *)
+val take_changes : t -> change_summary
+
+(** [peek_changes g] returns the summary without resetting. *)
+val peek_changes : t -> change_summary

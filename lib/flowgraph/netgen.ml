@@ -1,0 +1,111 @@
+type instance = {
+  graph : Graph.t;
+  sources : Graph.node list;
+  sinks : Graph.node list;
+}
+
+let transportation ~sources ~sinks ?(supply_per_source = 5) ?(max_cost = 100) ~seed () =
+  if sources <= 0 || sinks <= 0 then invalid_arg "Netgen.transportation: empty side";
+  let rng = Random.State.make [| seed |] in
+  let g = Graph.create () in
+  let srcs = List.init sources (fun _ -> Graph.add_node g ~supply:supply_per_source) in
+  let total = sources * supply_per_source in
+  let per_sink = (total + sinks - 1) / sinks in
+  let sks =
+    List.init sinks (fun i ->
+        (* Last sink absorbs the remainder so supplies balance exactly. *)
+        let d = min per_sink (total - (i * per_sink)) in
+        Graph.add_node g ~supply:(-(max 0 d)))
+  in
+  let sk_arr = Array.of_list sks in
+  List.iter
+    (fun s ->
+      (* Feasibility backbone: an expensive arc to every sink. *)
+      Array.iter
+        (fun t ->
+          ignore
+            (Graph.add_arc g ~src:s ~dst:t
+               ~cost:(max_cost + Random.State.int rng max_cost)
+               ~cap:supply_per_source))
+        sk_arr;
+      (* A few cheap preference arcs. *)
+      for _ = 1 to 3 do
+        let t = sk_arr.(Random.State.int rng sinks) in
+        ignore
+          (Graph.add_arc g ~src:s ~dst:t
+             ~cost:(1 + Random.State.int rng max_cost)
+             ~cap:(1 + Random.State.int rng supply_per_source))
+      done)
+    srcs;
+  ignore (Graph.take_changes g);
+  { graph = g; sources = srcs; sinks = sks }
+
+let grid ~width ~height ?(supply = 3) ?(max_cost = 50) ~seed () =
+  if width < 2 || height < 1 then invalid_arg "Netgen.grid: too small";
+  let rng = Random.State.make [| seed |] in
+  let g = Graph.create () in
+  let nodes = Array.init height (fun _ -> Array.init width (fun _ -> Graph.add_node g ~supply:0)) in
+  for y = 0 to height - 1 do
+    Graph.set_supply g nodes.(y).(0) supply;
+    Graph.set_supply g nodes.(y).(width - 1) (-supply)
+  done;
+  let cap = supply * height in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 2 do
+      ignore
+        (Graph.add_arc g ~src:nodes.(y).(x) ~dst:nodes.(y).(x + 1)
+           ~cost:(1 + Random.State.int rng max_cost)
+           ~cap)
+    done
+  done;
+  for y = 0 to height - 2 do
+    for x = 0 to width - 1 do
+      ignore
+        (Graph.add_arc g ~src:nodes.(y).(x) ~dst:nodes.(y + 1).(x)
+           ~cost:(1 + Random.State.int rng max_cost)
+           ~cap);
+      ignore
+        (Graph.add_arc g ~src:nodes.(y + 1).(x) ~dst:nodes.(y).(x)
+           ~cost:(1 + Random.State.int rng max_cost)
+           ~cap)
+    done
+  done;
+  ignore (Graph.take_changes g);
+  {
+    graph = g;
+    sources = List.init height (fun y -> nodes.(y).(0));
+    sinks = List.init height (fun y -> nodes.(y).(width - 1));
+  }
+
+let scheduling ~tasks ~machines ?(slots = 8) ?(pref_arcs = 3) ?(max_cost = 1000) ~seed () =
+  if machines <= 0 then invalid_arg "Netgen.scheduling: no machines";
+  let rng = Random.State.make [| seed |] in
+  let g = Graph.create () in
+  let sink = Graph.add_node g ~supply:(-tasks) in
+  let agg = Graph.add_node g ~supply:0 in
+  let unsched = Graph.add_node g ~supply:0 in
+  ignore (Graph.add_arc g ~src:unsched ~dst:sink ~cost:0 ~cap:tasks);
+  let ms =
+    Array.init machines (fun _ ->
+        let m = Graph.add_node g ~supply:0 in
+        ignore (Graph.add_arc g ~src:m ~dst:sink ~cost:0 ~cap:slots);
+        ignore
+          (Graph.add_arc g ~src:agg ~dst:m ~cost:(1 + Random.State.int rng (max_cost / 10)) ~cap:slots);
+        m)
+  in
+  let srcs =
+    List.init tasks (fun _ ->
+        let t = Graph.add_node g ~supply:1 in
+        ignore (Graph.add_arc g ~src:t ~dst:unsched ~cost:(2 * max_cost) ~cap:1);
+        ignore (Graph.add_arc g ~src:t ~dst:agg ~cost:max_cost ~cap:1);
+        for _ = 1 to pref_arcs do
+          ignore
+            (Graph.add_arc g ~src:t
+               ~dst:(ms.(Random.State.int rng machines))
+               ~cost:(1 + Random.State.int rng max_cost)
+               ~cap:1)
+        done;
+        t)
+  in
+  ignore (Graph.take_changes g);
+  { graph = g; sources = srcs; sinks = [ sink ] }

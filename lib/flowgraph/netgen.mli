@@ -1,0 +1,55 @@
+(** Random min-cost flow instance generators, in the spirit of the DIMACS
+    implementation-challenge generators (NETGEN/GRIDGEN/GOTO) that the
+    MCMF literature the paper draws on [24] benchmarks against.
+
+    Three families:
+    - {!transportation}: bipartite source→sink assignment problems with a
+      feasibility backbone (classic NETGEN shape);
+    - {!grid}: a w×h grid with supplies on the west edge and demands on
+      the east, flow snaking through random-cost lattice arcs (GRIDGEN
+      shape — hard for relaxation, friendly to cost scaling);
+    - {!scheduling}: task/aggregator/machine/sink graphs with the exact
+      structure of Firmament's scheduling networks, without needing the
+      whole cluster substrate (used by solver stress tests and
+      microbenchmarks).
+
+    All generators are deterministic in [seed] and always produce feasible
+    instances. *)
+
+type instance = {
+  graph : Graph.t;
+  sources : Graph.node list;
+  sinks : Graph.node list;
+}
+
+(** [transportation ~sources ~sinks ~supply_per_source ~max_cost ~seed ()]
+    builds a dense-ish bipartite problem; every source also has a high-cost
+    backbone arc to a sink, guaranteeing feasibility. *)
+val transportation :
+  sources:int ->
+  sinks:int ->
+  ?supply_per_source:int ->
+  ?max_cost:int ->
+  seed:int ->
+  unit ->
+  instance
+
+(** [grid ~width ~height ~supply ~max_cost ~seed ()] builds a lattice with
+    eastward and vertical arcs of random cost and ample capacity. *)
+val grid :
+  width:int -> height:int -> ?supply:int -> ?max_cost:int -> seed:int -> unit -> instance
+
+(** [scheduling ~tasks ~machines ~slots ~pref_arcs ~max_cost ~seed ()]
+    builds a Firmament-shaped network: task nodes (supply 1) with
+    preference arcs to random machines, a cluster aggregator fallback, a
+    per-instance unscheduled aggregator, machines with [slots] capacity to
+    a single sink. *)
+val scheduling :
+  tasks:int ->
+  machines:int ->
+  ?slots:int ->
+  ?pref_arcs:int ->
+  ?max_cost:int ->
+  seed:int ->
+  unit ->
+  instance

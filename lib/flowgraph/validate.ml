@@ -1,0 +1,108 @@
+type violation =
+  | Nonzero_excess of Graph.node * int
+  | Negative_rescap of Graph.arc * int
+  | Negative_reduced_cost_arc of Graph.arc * int
+  | Slack_violation of Graph.arc * int
+  | Negative_cycle of Graph.node list
+
+let pp_violation ppf = function
+  | Nonzero_excess (n, e) -> Format.fprintf ppf "node %d has excess %d" n e
+  | Negative_rescap (a, r) -> Format.fprintf ppf "arc %d has residual capacity %d" a r
+  | Negative_reduced_cost_arc (a, c) ->
+      Format.fprintf ppf "residual arc %d has negative reduced cost %d with spare capacity" a c
+  | Slack_violation (a, c) ->
+      Format.fprintf ppf "arc %d carries flow despite positive reduced cost %d" a c
+  | Negative_cycle ns ->
+      Format.fprintf ppf "negative-cost residual cycle through nodes %a"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        ns
+
+let feasibility g =
+  let vs = ref [] in
+  Graph.iter_nodes g (fun n ->
+      let e = Graph.excess g n in
+      if e <> 0 then vs := Nonzero_excess (n, e) :: !vs);
+  Graph.iter_arcs g (fun a ->
+      if Graph.rescap g a < 0 then vs := Negative_rescap (a, Graph.rescap g a) :: !vs;
+      let r = Graph.rev a in
+      if Graph.rescap g r < 0 then vs := Negative_rescap (r, Graph.rescap g r) :: !vs);
+  !vs
+
+let is_feasible g = feasibility g = []
+
+let residual_arc_violations g ~eps =
+  let vs = ref [] in
+  let consider a =
+    if Graph.rescap g a > 0 then begin
+      let rc = Graph.reduced_cost g a in
+      if rc < -eps then vs := Negative_reduced_cost_arc (a, rc) :: !vs
+    end
+  in
+  Graph.iter_arcs g (fun a ->
+      consider a;
+      consider (Graph.rev a));
+  !vs
+
+let reduced_cost_optimality g = residual_arc_violations g ~eps:0
+let is_reduced_cost_optimal g = reduced_cost_optimality g = []
+let is_epsilon_optimal g ~eps = residual_arc_violations g ~eps = []
+
+(* Bellman-Ford over the residual network from a virtual super-source
+   (distance 0 everywhere initially), detecting any negative cycle. *)
+let negative_cycle g =
+  let bound = Graph.node_bound g in
+  if bound = 0 then None
+  else begin
+    let dist = Array.make bound 0 in
+    let parent_arc = Array.make bound (-1) in
+    let improved = ref true in
+    let last_improved = ref (-1) in
+    let rounds = ref 0 in
+    let n_live = Graph.node_count g in
+    while !improved && !rounds <= n_live do
+      improved := false;
+      incr rounds;
+      Graph.iter_arcs g (fun a ->
+          let relax a =
+            if Graph.rescap g a > 0 then begin
+              let u = Graph.src g a and v = Graph.dst g a in
+              let d = dist.(u) + Graph.cost g a in
+              if d < dist.(v) then begin
+                dist.(v) <- d;
+                parent_arc.(v) <- a;
+                improved := true;
+                last_improved := v
+              end
+            end
+          in
+          relax a;
+          relax (Graph.rev a))
+    done;
+    if not !improved then None
+    else begin
+      (* Walk parents n times to land inside the cycle, then collect it. *)
+      let v = ref !last_improved in
+      for _ = 1 to n_live do
+        v := Graph.src g parent_arc.(!v)
+      done;
+      let start = !v in
+      let cycle = ref [ start ] in
+      let u = ref (Graph.src g parent_arc.(start)) in
+      while !u <> start do
+        cycle := !u :: !cycle;
+        u := Graph.src g parent_arc.(!u)
+      done;
+      Some !cycle
+    end
+  end
+
+let is_optimal g = is_feasible g && negative_cycle g = None
+
+let check_exn g =
+  match feasibility g with
+  | v :: _ -> failwith (Format.asprintf "infeasible flow: %a" pp_violation v)
+  | [] -> (
+      match negative_cycle g with
+      | Some c -> failwith (Format.asprintf "non-optimal flow: %a" pp_violation (Negative_cycle c))
+      | None -> ())

@@ -1,0 +1,47 @@
+(** Flow validity and optimality checkers.
+
+    These implement the three optimality conditions of §4 of the paper
+    (negative-cycle, reduced-cost, and complementary-slackness optimality)
+    and are used by the test suite to verify every solver, and by solvers
+    in debug builds. All run in polynomial time on the residual network. *)
+
+type violation =
+  | Nonzero_excess of Graph.node * int
+  | Negative_rescap of Graph.arc * int
+  | Negative_reduced_cost_arc of Graph.arc * int
+      (** residual arc with capacity left and negative reduced cost *)
+  | Slack_violation of Graph.arc * int
+      (** forward arc with positive reduced cost carrying flow *)
+  | Negative_cycle of Graph.node list
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [feasibility g] returns all feasibility violations: non-zero excesses
+    or negative residual capacities. *)
+val feasibility : Graph.t -> violation list
+
+val is_feasible : Graph.t -> bool
+
+(** [reduced_cost_optimality g] checks condition 2 of §4 against the node
+    potentials stored in [g]: no residual arc with spare capacity may have
+    negative reduced cost. *)
+val reduced_cost_optimality : Graph.t -> violation list
+
+val is_reduced_cost_optimal : Graph.t -> bool
+
+(** [is_epsilon_optimal g ~eps] checks the relaxed condition used by cost
+    scaling: no residual arc with spare capacity has reduced cost < -eps. *)
+val is_epsilon_optimal : Graph.t -> eps:int -> bool
+
+(** [negative_cycle g] searches the residual network for a directed cycle
+    of negative total cost (condition 1 of §4); [None] means the flow is
+    optimal provided it is feasible. Bellman–Ford, O(N·M). *)
+val negative_cycle : Graph.t -> Graph.node list option
+
+(** [is_optimal g] is feasibility + negative-cycle-freedom: the
+    potential-free ground truth used to cross-check all solvers. *)
+val is_optimal : Graph.t -> bool
+
+(** [check_exn g] raises [Failure] with a description if [g]'s flow is not
+    feasible and optimal. *)
+val check_exn : Graph.t -> unit

@@ -1,0 +1,44 @@
+(** Growable arrays.
+
+    A thin dynamic-array implementation (OCaml 5.1's stdlib predates
+    [Dynarray]). Elements are stored in a backing array that doubles on
+    demand; all operations are amortized O(1). Used pervasively for node
+    and arc storage in {!Graph}. *)
+
+type 'a t
+
+(** [create ~dummy] is an empty vector. [dummy] fills unused backing slots
+    and must be safe to retain (it is never returned by accessors). *)
+val create : dummy:'a -> 'a t
+
+(** [make n ~dummy x] is a vector of length [n] filled with [x]. *)
+val make : int -> dummy:'a -> 'a -> 'a t
+
+val length : 'a t -> int
+
+(** [get v i] is the [i]th element. @raise Invalid_argument if out of bounds. *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+(** [push v x] appends [x] and returns its index. *)
+val push : 'a t -> 'a -> int
+
+(** [pop v] removes and returns the last element.
+    @raise Invalid_argument on an empty vector. *)
+val pop : 'a t -> 'a
+
+(** [grow_to v n x] extends [v] with copies of [x] until its length is at
+    least [n]; does nothing if already long enough. *)
+val grow_to : 'a t -> int -> 'a -> unit
+
+val clear : 'a t -> unit
+val is_empty : 'a t -> bool
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+
+(** [copy v] is an independent copy sharing no mutable state with [v]. *)
+val copy : 'a t -> 'a t

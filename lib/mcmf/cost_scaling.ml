@@ -1,0 +1,162 @@
+module G = Flowgraph.Graph
+
+type state = { alpha : int; mutable scale : int }
+
+let create ?(alpha = 2) () =
+  if alpha < 2 then invalid_arg "Cost_scaling.create: alpha < 2";
+  { alpha; scale = 2 }
+
+let alpha st = st.alpha
+
+let ensure_scale st g =
+  let needed = G.node_count g + 2 in
+  if st.scale < needed then st.scale <- needed;
+  st.scale
+
+(* All reduced costs below are in scaled units: rc(a) = cost(a)*S - p(u) + p(v),
+   with p the graph potentials (written in scaled units by this solver and by
+   Price_refine when handed ~scale). *)
+
+let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
+  let t0 = Unix.gettimeofday () in
+  let s = ensure_scale st g in
+  let pushes = ref 0 in
+  let relabels = ref 0 in
+  let iterations = ref 0 in
+  let finish outcome =
+    Solver_intf.stats ~iterations:!iterations ~pushes:!pushes ~relabels:!relabels outcome
+      (Unix.gettimeofday () -. t0)
+  in
+  if not incremental then G.reset_flow g;
+  let bound = max 1 (G.node_bound g) in
+  let rc a = (G.cost g a * s) - G.potential g (G.src g a) + G.potential g (G.dst g a) in
+  (* Starting ε. From scratch, scaling must begin at C·S and work down —
+     the zero flow has no reduced-cost violations, but starting at ε = 1
+     degenerates into unscaled push-relabel. Incrementally, the worst
+     violation the graph changes introduced suffices (paper §6.2: bounded
+     by the costliest changed arc after price refine). *)
+  let scratch_eps = max 1 (G.max_arc_cost g * s) in
+  let eps0 =
+    let m = ref 1 in
+    G.iter_arcs g (fun a0 ->
+        let look a = if G.rescap g a > 0 && -rc a > !m then m := -rc a in
+        look a0;
+        look (G.rev a0));
+    if not incremental then max !m scratch_eps
+    else if !m > 8 * scratch_eps then begin
+      (* The warm potentials are wildly inconsistent with the graph (e.g.
+         many new zero-potential nodes against old scaled duals, and no
+         price refine ran): a from-scratch solve is strictly cheaper than
+         descending from such an ε. *)
+      G.reset_flow g;
+      scratch_eps
+    end
+    else begin
+      (* A warm start only helps when little work is left. If a large
+         share of the supply is unrouted (e.g. the first solve of a fresh
+         graph, where zero flow at zero potentials shows no violation at
+         all), routing it at a tiny ε degenerates into unscaled
+         push-relabel — take the full ladder instead. *)
+      let unrouted = ref 0 and supply_total = ref 0 in
+      G.iter_nodes g (fun n ->
+          let e = G.excess g n and b = G.supply g n in
+          if e > 0 then unrouted := !unrouted + e;
+          if b > 0 then supply_total := !supply_total + b);
+      if !unrouted * 5 > !supply_total && !m < scratch_eps then scratch_eps else !m
+    end
+  in
+  let active = Queue.create () in
+  let in_queue = Array.make bound false in
+  let cur_arc = Array.make bound (-1) in
+  let n_live = G.node_count g in
+  let exception Infeasible in
+  (* Unbounded relabeling is the signature of infeasibility, but potentials
+     can legitimately rise by ~n·C·S when routing fresh supply. Guard
+     adaptively: when a node's rise exceeds the current limit, run a real
+     max-flow feasibility check (once); if feasible, raise the limit and
+     keep going. *)
+  let rise_limit = ref (((3 * n_live) + 8) * (G.max_arc_cost g + 1) * s) in
+  let feasibility_known = ref false in
+  let suspect_infeasible () =
+    if !feasibility_known then ()
+    else begin
+      feasibility_known := true;
+      if not (Max_flow.route (G.copy g)) then raise Infeasible
+    end;
+    rise_limit := !rise_limit * 8
+  in
+  let refine eps =
+    incr iterations;
+    if stop () then raise Solver_intf.Stop;
+    (* Make the pseudoflow 0-optimal at current prices... *)
+    G.iter_arcs g (fun a0 ->
+        let fix a = if G.rescap g a > 0 && rc a < 0 then G.push g a (G.rescap g a) in
+        fix a0;
+        fix (G.rev a0));
+    (* ...then discharge active nodes, pushing on admissible (rc < 0)
+       residual arcs and relabeling when the current node has none. *)
+    Queue.clear active;
+    Array.fill in_queue 0 bound false;
+    let p_start = Array.make bound 0 in
+    G.iter_nodes g (fun n ->
+        p_start.(n) <- G.potential g n;
+        cur_arc.(n) <- G.first_out g n;
+        if G.excess g n > 0 then begin
+          Queue.add n active;
+          in_queue.(n) <- true
+        end);
+    let steps = ref 0 in
+    while not (Queue.is_empty active) do
+      incr steps;
+      if !steps land 1023 = 0 && stop () then raise Solver_intf.Stop;
+      let u = Queue.pop active in
+      in_queue.(u) <- false;
+      (* Discharge u completely. *)
+      let continue = ref (G.excess g u > 0) in
+      while !continue do
+        let a = cur_arc.(u) in
+        if a < 0 then begin
+          (* Relabel: raise p(u) until some out-arc becomes admissible. *)
+          incr relabels;
+          let min_rc = ref max_int in
+          let it = ref (G.first_out g u) in
+          while !it >= 0 do
+            if G.rescap g !it > 0 then begin
+              let r = rc !it in
+              if r < !min_rc then min_rc := r
+            end;
+            it := G.next_out g !it
+          done;
+          if !min_rc = max_int then raise Infeasible;
+          G.set_potential g u (G.potential g u + !min_rc + eps);
+          if G.potential g u - p_start.(u) > !rise_limit then suspect_infeasible ();
+          cur_arc.(u) <- G.first_out g u
+        end
+        else begin
+          if G.rescap g a > 0 && rc a < 0 then begin
+            let d = min (G.excess g u) (G.rescap g a) in
+            let v = G.dst g a in
+            G.push g a d;
+            incr pushes;
+            if G.excess g v > 0 && not in_queue.(v) then begin
+              Queue.add v active;
+              in_queue.(v) <- true
+            end
+          end;
+          if G.excess g u > 0 then cur_arc.(u) <- G.next_out g a
+        end;
+        if G.excess g u <= 0 then continue := false
+      done
+    done
+  in
+  try
+    let eps = ref eps0 in
+    refine !eps;
+    while !eps > 1 do
+      eps := max 1 (!eps / st.alpha);
+      refine !eps
+    done;
+    finish Solver_intf.Optimal
+  with
+  | Solver_intf.Stop -> finish Solver_intf.Stopped
+  | Infeasible -> finish Solver_intf.Infeasible

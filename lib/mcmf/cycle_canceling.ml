@@ -1,0 +1,111 @@
+module G = Flowgraph.Graph
+
+(* One Bellman-Ford sweep to convergence or [n] rounds; returns the list of
+   nodes whose distance was still improving in the final round (each lies on
+   or is reachable from a negative cycle), plus the parent-arc array. *)
+let bellman_ford g parent dist =
+  Array.fill dist 0 (Array.length dist) 0;
+  Array.fill parent 0 (Array.length parent) (-1);
+  let n = G.node_count g in
+  let updated = ref [] in
+  let improved = ref true in
+  let round = ref 0 in
+  while !improved && !round <= n do
+    improved := false;
+    incr round;
+    updated := [];
+    G.iter_arcs g (fun a0 ->
+        let relax a =
+          if G.rescap g a > 0 then begin
+            let u = G.src g a and v = G.dst g a in
+            let d = dist.(u) + G.cost g a in
+            if d < dist.(v) then begin
+              dist.(v) <- d;
+              parent.(v) <- a;
+              improved := true;
+              updated := v :: !updated
+            end
+          end
+        in
+        relax a0;
+        relax (G.rev a0))
+  done;
+  if !improved then !updated else []
+
+(* Walk [n] parent steps from [v] to land on a cycle, then collect its arcs. *)
+let extract_cycle g parent n v =
+  let u = ref v in
+  for _ = 1 to n do
+    if parent.(!u) >= 0 then u := G.src g parent.(!u)
+  done;
+  if parent.(!u) < 0 then None
+  else begin
+    let start = !u in
+    let arcs = ref [] in
+    let w = ref start in
+    let ok = ref true in
+    let continue = ref true in
+    while !continue do
+      let a = parent.(!w) in
+      if a < 0 then begin
+        ok := false;
+        continue := false
+      end
+      else begin
+        arcs := a :: !arcs;
+        w := G.src g a;
+        if !w = start then continue := false
+      end
+    done;
+    if !ok then Some !arcs else None
+  end
+
+let cancel g arcs =
+  let bottleneck = List.fold_left (fun m a -> min m (G.rescap g a)) max_int arcs in
+  let cost = List.fold_left (fun c a -> c + G.cost g a) 0 arcs in
+  if bottleneck > 0 && bottleneck < max_int && cost < 0 then begin
+    List.iter (fun a -> G.push g a bottleneck) arcs;
+    true
+  end
+  else false
+
+let solve ?(stop = Solver_intf.never_stop) g =
+  let t0 = Unix.gettimeofday () in
+  let bound = max 1 (G.node_bound g) in
+  let parent = Array.make bound (-1) in
+  let dist = Array.make bound 0 in
+  let iterations = ref 0 in
+  let pushes = ref 0 in
+  let finish outcome =
+    Solver_intf.stats ~iterations:!iterations ~pushes:!pushes outcome
+      (Unix.gettimeofday () -. t0)
+  in
+  if not (Max_flow.route ~stop g) then
+    if stop () then finish Solver_intf.Stopped else finish Solver_intf.Infeasible
+  else begin
+    try
+      let n = G.node_count g in
+      let rec loop () =
+        if stop () then raise Solver_intf.Stop;
+        incr iterations;
+        match bellman_ford g parent dist with
+        | [] -> ()
+        | candidates ->
+            (* Cancel every distinct cycle reachable from this round's
+               candidates; re-derived bottlenecks guard against arcs
+               saturated by an earlier cancellation in the same round. *)
+            let cancelled = ref false in
+            List.iter
+              (fun v ->
+                match extract_cycle g parent n v with
+                | Some arcs -> if cancel g arcs then cancelled := true
+                | None -> ())
+              candidates;
+            (* A fresh Bellman-Ford always yields at least one cancelable
+               cycle while one exists, so no progress means convergence. *)
+            if !cancelled then loop ()
+      in
+      loop ();
+      finish Solver_intf.Optimal
+    with Solver_intf.Stop -> finish Solver_intf.Stopped
+  end

@@ -1,0 +1,10 @@
+(** Cycle canceling (Klein 1967) — paper §4, Table 1: O(N·M²·C·U).
+
+    First computes any feasible flow by max-flow ({!Max_flow}), then
+    repeatedly finds a negative-cost directed cycle in the residual network
+    (Bellman–Ford) and saturates it, decreasing total cost each time. Ends
+    at negative-cycle optimality. Always feasible, converging to optimal —
+    the simplest and slowest solver; kept as a correctness oracle and for
+    the Fig. 7 comparison. *)
+
+val solve : ?stop:Solver_intf.stop -> Flowgraph.Graph.t -> Solver_intf.stats

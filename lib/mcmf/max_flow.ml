@@ -1,0 +1,70 @@
+module G = Flowgraph.Graph
+
+(* BFS from all excess nodes simultaneously until a deficit node is found,
+   augment along the discovered path, repeat. Terminates when no deficit is
+   reachable from any remaining excess. *)
+let route ?(stop = Solver_intf.never_stop) g =
+  let bound = G.node_bound g in
+  let parent = Array.make (max 1 bound) (-1) in
+  let queue = Queue.create () in
+  let rec augment () =
+    if stop () then raise Solver_intf.Stop;
+    Array.fill parent 0 (Array.length parent) (-1);
+    Queue.clear queue;
+    G.iter_nodes g (fun n ->
+        if G.excess g n > 0 then begin
+          parent.(n) <- max_int; (* root marker *)
+          Queue.add n queue
+        end);
+    if not (Queue.is_empty queue) then begin
+      (* BFS over residual arcs with spare capacity. *)
+      let target = ref (-1) in
+      (try
+         while not (Queue.is_empty queue) do
+           let u = Queue.pop queue in
+           let it = ref (G.first_active g u) in
+           while !it >= 0 do
+             let a = !it in
+             let v = G.dst g a in
+             if parent.(v) = -1 then begin
+               parent.(v) <- a;
+               if G.excess g v < 0 then begin
+                 target := v;
+                 raise Exit
+               end;
+               Queue.add v queue
+             end;
+             it := G.next_active g a
+           done
+         done
+       with Exit -> ());
+      if !target >= 0 then begin
+        (* Trace back to the root, find the bottleneck, push. *)
+        let t = !target in
+        let rec bottleneck v acc =
+          let a = parent.(v) in
+          if a = max_int then acc
+          else bottleneck (G.src g a) (min acc (G.rescap g a))
+        in
+        let rec root v =
+          let a = parent.(v) in
+          if a = max_int then v else root (G.src g a)
+        in
+        let s = root t in
+        let amount = min (G.excess g s) (min (- G.excess g t) (bottleneck t max_int)) in
+        let rec push v =
+          let a = parent.(v) in
+          if a <> max_int then begin
+            G.push g a amount;
+            push (G.src g a)
+          end
+        in
+        push t;
+        augment ()
+      end
+    end
+  in
+  (try augment () with Solver_intf.Stop -> ());
+  let feasible = ref true in
+  G.iter_nodes g (fun n -> if G.excess g n <> 0 then feasible := false);
+  !feasible

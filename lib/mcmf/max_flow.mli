@@ -1,0 +1,9 @@
+(** Feasibility routing by max-flow.
+
+    [route g] ships as much supply as possible from excess nodes to deficit
+    nodes over the residual network, ignoring costs (BFS augmenting paths,
+    Edmonds–Karp style). Returns [true] if all excess was drained, i.e. the
+    instance is feasible. Used by {!Cycle_canceling} to obtain its initial
+    feasible flow, and by tests as a feasibility oracle. *)
+
+val route : ?stop:Solver_intf.stop -> Flowgraph.Graph.t -> bool

@@ -1,0 +1,62 @@
+module G = Flowgraph.Graph
+
+(* Fast path: if the stored potentials already satisfy reduced-cost
+   optimality in unscaled units (true whenever relaxation produced the
+   solution — it maintains that invariant), valid scaled potentials are
+   just [scale · p]: rc_scaled = scale · rc_unscaled >= 0. *)
+let rescale_if_certified ~scale g =
+  let ok = ref true in
+  (try
+     G.iter_arcs g (fun a0 ->
+         let look a =
+           if G.rescap g a > 0 && G.reduced_cost g a < 0 then begin
+             ok := false;
+             raise Exit
+           end
+         in
+         look a0;
+         look (G.rev a0))
+   with Exit -> ());
+  if !ok then
+    G.iter_nodes g (fun v -> G.set_potential g v (G.potential g v * scale));
+  !ok
+
+let run_spfa ~scale g =
+  let bound = max 1 (G.node_bound g) in
+  let dist = Array.make bound 0 in
+  let in_queue = Array.make bound true in
+  let relax_count = Array.make bound 0 in
+  let n = G.node_count g in
+  let queue = Queue.create () in
+  G.iter_nodes g (fun v -> Queue.add v queue);
+  let ok = ref true in
+  (try
+     while not (Queue.is_empty queue) do
+       let u = Queue.pop queue in
+       in_queue.(u) <- false;
+       let it = ref (G.first_active g u) in
+       while !it >= 0 do
+         let a = !it in
+         let v = G.dst g a in
+         let d = dist.(u) + (G.cost g a * scale) in
+         if d < dist.(v) then begin
+           dist.(v) <- d;
+           relax_count.(v) <- relax_count.(v) + 1;
+           if relax_count.(v) > n + 1 then begin
+             (* Negative residual cycle: the flow is not optimal. *)
+             ok := false;
+             raise Exit
+           end;
+           if not in_queue.(v) then begin
+             Queue.add v queue;
+             in_queue.(v) <- true
+           end
+         end;
+         it := G.next_active g a
+       done
+     done
+   with Exit -> ());
+  if !ok then G.iter_nodes g (fun v -> G.set_potential g v (- dist.(v)));
+  !ok
+
+let run ?(scale = 1) g = if rescale_if_certified ~scale g then true else run_spfa ~scale g

@@ -1,0 +1,118 @@
+module G = Flowgraph.Graph
+
+type mode =
+  | Race_parallel
+  | Fastest_sequential
+  | Relaxation_only
+  | Incremental_cost_scaling_only
+  | Cost_scaling_scratch_only
+
+type t = {
+  mode : mode;
+  price_refine : bool;
+  cs_state : Cost_scaling.state;
+}
+
+let create ?(alpha = 9) ?(price_refine = true) ~mode () =
+  { mode; price_refine; cs_state = Cost_scaling.create ~alpha () }
+
+let mode t = t.mode
+
+type winner = Relaxation | Cost_scaling
+
+type result = {
+  graph : Flowgraph.Graph.t;
+  winner : winner;
+  stats : Solver_intf.stats;
+  relaxation_stats : Solver_intf.stats option;
+  cost_scaling_stats : Solver_intf.stats option;
+}
+
+let uses_cost_scaling t =
+  match t.mode with
+  | Relaxation_only -> false
+  | Race_parallel | Fastest_sequential | Incremental_cost_scaling_only
+  | Cost_scaling_scratch_only ->
+      true
+
+let prepare t g =
+  if t.price_refine && uses_cost_scaling t then begin
+    let scale = Cost_scaling.ensure_scale t.cs_state g in
+    ignore (Price_refine.run ~scale g)
+  end
+
+let relax_result g stats =
+  { graph = g; winner = Relaxation; stats; relaxation_stats = Some stats; cost_scaling_stats = None }
+
+let cs_result g stats =
+  { graph = g; winner = Cost_scaling; stats; relaxation_stats = None; cost_scaling_stats = Some stats }
+
+let check_outcome r =
+  (match r.stats.Solver_intf.outcome with
+  | Solver_intf.Infeasible -> failwith "Race.solve: problem infeasible"
+  | Solver_intf.Optimal | Solver_intf.Stopped -> ());
+  r
+
+let solve_sequential ?stop t g =
+  let g_cs = G.copy g in
+  let rx = Relaxation.solve ?stop g in
+  let cs = Cost_scaling.solve ?stop ~incremental:true t.cs_state g_cs in
+  let open Solver_intf in
+  let pick_cs =
+    match (rx.outcome, cs.outcome) with
+    | Optimal, Optimal -> cs.runtime < rx.runtime
+    | _, Optimal -> true
+    | Optimal, _ -> false
+    | _, _ -> cs.runtime < rx.runtime
+  in
+  if pick_cs then
+    { graph = g_cs; winner = Cost_scaling; stats = cs;
+      relaxation_stats = Some rx; cost_scaling_stats = Some cs }
+  else
+    { graph = g; winner = Relaxation; stats = rx;
+      relaxation_stats = Some rx; cost_scaling_stats = Some cs }
+
+(* Parallel race: both algorithms run in their own domain on their own
+   graph; the first Optimal finisher flips the shared cancel flag. *)
+let solve_parallel ?(stop = Solver_intf.never_stop) t g =
+  let g_cs = G.copy g in
+  let cancel = Atomic.make false in
+  let stop' = Solver_intf.either_stop stop (Solver_intf.flag_stop cancel) in
+  let announce stats =
+    (match stats.Solver_intf.outcome with
+    | Solver_intf.Optimal -> Atomic.set cancel true
+    | Solver_intf.Infeasible | Solver_intf.Stopped -> ());
+    stats
+  in
+  let d_rx = Domain.spawn (fun () -> announce (Relaxation.solve ~stop:stop' g)) in
+  let d_cs =
+    Domain.spawn (fun () ->
+        announce (Cost_scaling.solve ~stop:stop' ~incremental:true t.cs_state g_cs))
+  in
+  let rx = Domain.join d_rx in
+  let cs = Domain.join d_cs in
+  let open Solver_intf in
+  let pick_cs =
+    match (rx.outcome, cs.outcome) with
+    | Optimal, Optimal -> cs.runtime < rx.runtime
+    | _, Optimal -> true
+    | Optimal, _ -> false
+    | _, _ -> cs.runtime < rx.runtime
+  in
+  if pick_cs then
+    { graph = g_cs; winner = Cost_scaling; stats = cs;
+      relaxation_stats = Some rx; cost_scaling_stats = Some cs }
+  else
+    { graph = g; winner = Relaxation; stats = rx;
+      relaxation_stats = Some rx; cost_scaling_stats = Some cs }
+
+let solve ?stop t g =
+  check_outcome
+    (match t.mode with
+    | Relaxation_only -> relax_result g (Relaxation.solve ?stop g)
+    | Incremental_cost_scaling_only ->
+        cs_result g (Cost_scaling.solve ?stop ~incremental:true t.cs_state g)
+    | Cost_scaling_scratch_only ->
+        cs_result g (Cost_scaling.solve ?stop ~incremental:false t.cs_state g)
+    | Fastest_sequential -> solve_sequential ?stop t g
+    | Race_parallel -> solve_parallel ?stop t g)

@@ -1,0 +1,54 @@
+(** Firmament's solver orchestration (paper §6.1–6.2).
+
+    Firmament speculatively executes {e relaxation (from scratch)} and
+    {e incremental cost scaling} on copies of the scheduling graph and
+    takes whichever finishes first: relaxation wins in the common case,
+    cost scaling bounds placement latency in edge cases (oversubscription,
+    huge arriving jobs). Predicting the winner would be brittle; running
+    both is cheap because each is single-threaded.
+
+    Use {!prepare} on the {e previous} optimal solution before applying
+    cluster changes: it price-refines the potentials so the next
+    incremental cost scaling run starts at an ε bounded by the costliest
+    changed arc (§6.2, Fig. 13). *)
+
+type mode =
+  | Race_parallel  (** two domains, first optimal result wins; the loser is cancelled *)
+  | Fastest_sequential
+      (** run both sequentially, report the faster — deterministic
+          simulation of the race for single-core benchmarks *)
+  | Relaxation_only
+  | Incremental_cost_scaling_only
+  | Cost_scaling_scratch_only  (** Quincy's configuration (cs2-style) *)
+
+type t
+
+(** [create ?alpha ?price_refine ~mode ()] builds an orchestrator.
+    [alpha] is cost scaling's ε-division factor (paper tunes 9 for the
+    Quincy policy); [price_refine] (default [true]) controls the §6.2
+    transition optimization. *)
+val create : ?alpha:int -> ?price_refine:bool -> mode:mode -> unit -> t
+
+val mode : t -> mode
+
+type winner = Relaxation | Cost_scaling
+
+type result = {
+  graph : Flowgraph.Graph.t;  (** the winning solution; adopt as canonical *)
+  winner : winner;
+  stats : Solver_intf.stats;  (** the winner's stats *)
+  relaxation_stats : Solver_intf.stats option;
+  cost_scaling_stats : Solver_intf.stats option;
+}
+
+(** [prepare t g] must be called on the canonical graph while it still
+    holds the previous optimal solution, {e before} applying the next batch
+    of cluster changes. No-op when price refine is disabled, the mode never
+    runs cost scaling, or the flow is not optimal (first run). *)
+val prepare : t -> Flowgraph.Graph.t -> unit
+
+(** [solve ?stop t g] solves the (already updated) graph [g]. [g] itself is
+    used for one algorithm; the other runs on a copy — always adopt
+    [result.graph] afterwards and drop other references.
+    @raise Failure if every attempted algorithm reports infeasibility. *)
+val solve : ?stop:Solver_intf.stop -> t -> Flowgraph.Graph.t -> result

@@ -1,0 +1,345 @@
+module G = Flowgraph.Graph
+
+(* Circular-buffer deque of arc ids: arc prioritization pushes promising
+   arcs (those leading to demand nodes) to the front, others to the back. *)
+module Deque = struct
+  type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+  let create () = { buf = Array.make 16 (-1); head = 0; len = 0 }
+
+  let grow d =
+    let n = Array.length d.buf in
+    let buf' = Array.make (2 * n) (-1) in
+    for i = 0 to d.len - 1 do
+      buf'.(i) <- d.buf.((d.head + i) mod n)
+    done;
+    d.buf <- buf';
+    d.head <- 0
+
+  let push_back d x =
+    if d.len = Array.length d.buf then grow d;
+    d.buf.((d.head + d.len) mod Array.length d.buf) <- x;
+    d.len <- d.len + 1
+
+  let push_front d x =
+    if d.len = Array.length d.buf then grow d;
+    let n = Array.length d.buf in
+    d.head <- (d.head + n - 1) mod n;
+    d.buf.(d.head) <- x;
+    d.len <- d.len + 1
+
+  let pop_front d =
+    if d.len = 0 then raise Not_found;
+    let x = d.buf.(d.head) in
+    d.head <- (d.head + 1) mod Array.length d.buf;
+    d.len <- d.len - 1;
+    x
+
+  let clear d =
+    d.head <- 0;
+    d.len <- 0
+end
+
+(* Binary min-heap of (key, arc) pairs, no decrease-key (entries are
+   advisory; staleness is checked at pop). *)
+module Arc_heap = struct
+  type t = { mutable keys : int array; mutable arcs : int array; mutable len : int }
+
+  let create () = { keys = Array.make 64 0; arcs = Array.make 64 (-1); len = 0 }
+
+  let clear h = h.len <- 0
+  let is_empty h = h.len = 0
+
+  let push h key arc =
+    if h.len = Array.length h.keys then begin
+      let keys' = Array.make (2 * h.len) 0 and arcs' = Array.make (2 * h.len) (-1) in
+      Array.blit h.keys 0 keys' 0 h.len;
+      Array.blit h.arcs 0 arcs' 0 h.len;
+      h.keys <- keys';
+      h.arcs <- arcs'
+    end;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.keys.(!i) <- key;
+    h.arcs.(!i) <- arc;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if h.keys.(p) > h.keys.(!i) then begin
+        let tk = h.keys.(p) and ta = h.arcs.(p) in
+        h.keys.(p) <- h.keys.(!i);
+        h.arcs.(p) <- h.arcs.(!i);
+        h.keys.(!i) <- tk;
+        h.arcs.(!i) <- ta;
+        i := p
+      end
+      else continue := false
+    done
+
+  let peek_key h = h.keys.(0)
+  let peek_arc h = h.arcs.(0)
+
+  let pop h =
+    h.len <- h.len - 1;
+    h.keys.(0) <- h.keys.(h.len);
+    h.arcs.(0) <- h.arcs.(h.len);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < h.len && h.keys.(l) < h.keys.(!m) then m := l;
+      if r < h.len && h.keys.(r) < h.keys.(!m) then m := r;
+      if !m <> !i then begin
+        let tk = h.keys.(!m) and ta = h.arcs.(!m) in
+        h.keys.(!m) <- h.keys.(!i);
+        h.arcs.(!m) <- h.arcs.(!i);
+        h.keys.(!i) <- tk;
+        h.arcs.(!i) <- ta;
+        i := !m
+      end
+      else continue := false
+    done
+end
+
+(* One RELAX solve. The dual-ascent set S grows from a surplus node along
+   balanced residual arcs; price rises are applied lazily (rise_total and
+   per-member join marks) so a rise costs O(|S|)-free heap work instead of
+   rescanning every member's adjacency — crucial on scheduling graphs
+   whose aggregators have enormous degree. *)
+let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
+    ?(arc_prioritization = true) g =
+  let t0 = Unix.gettimeofday () in
+  let iterations = ref 0 in
+  let pushes = ref 0 in
+  let price_rises = ref 0 in
+  let finish outcome =
+    Solver_intf.stats ~iterations:!iterations ~pushes:!pushes ~relabels:!price_rises
+      outcome
+      (Unix.gettimeofday () -. t0)
+  in
+  if not incremental then G.reset_flow g;
+  (* Establish reduced-cost optimality (possibly breaking feasibility). *)
+  Ssp.establish_optimality g;
+  let bound = max 1 (G.node_bound g) in
+  let in_s = Array.make bound false in
+  let rise_at_join = Array.make bound 0 in
+  let s_members = ref [] in
+  let pred = Array.make bound (-1) in
+  let candidates = Deque.create () in
+  let pos_heap = Arc_heap.create () in
+  let rise_total = ref 0 in
+  (* Surplus worklist. *)
+  let worklist = Queue.create () in
+  let in_worklist = Array.make bound false in
+  let enqueue_surplus n =
+    if G.excess g n > 0 && not in_worklist.(n) then begin
+      Queue.add n worklist;
+      in_worklist.(n) <- true
+    end
+  in
+  G.iter_nodes g (fun n -> enqueue_surplus n);
+  let exception Infeasible in
+  let pending i = !rise_total - rise_at_join.(i) in
+  (* Materialize the lazily accumulated price rises of this phase.
+     Idempotent: committed members' join marks advance to the current
+     rise level. *)
+  let commit_rises () =
+    List.iter
+      (fun i ->
+        let d = pending i in
+        if d > 0 then begin
+          G.set_potential g i (G.potential g i + d);
+          rise_at_join.(i) <- !rise_total
+        end)
+      !s_members
+  in
+  let reset_phase () =
+    List.iter (fun n -> in_s.(n) <- false) !s_members;
+    s_members := [];
+    Deque.clear candidates;
+    Arc_heap.clear pos_heap;
+    rise_total := 0
+  in
+  let add_candidate a =
+    if arc_prioritization && G.excess g (G.dst g a) < 0 then Deque.push_front candidates a
+    else Deque.push_back candidates a
+  in
+  (* Add node [j] to S; returns its contribution to (e_S, out_flux) and
+     feeds the candidate deque / positive-arc heap. Only active (positive
+     residual) arcs are scanned. out_flux tracks the rescap sum of deque
+     entries; arcs that become internal are corrected lazily when their
+     deque entry is popped (so no backward scan of j's full adjacency is
+     ever needed). *)
+  let add_to_s j =
+    in_s.(j) <- true;
+    rise_at_join.(j) <- !rise_total;
+    s_members := j :: !s_members;
+    let de = G.excess g j in
+    let dflux = ref 0 in
+    let it = ref (G.first_active g j) in
+    while !it >= 0 do
+      let a = !it in
+      let k = G.dst g a in
+      if not in_s.(k) then begin
+        (* pending(j) = 0 right now, so raw reduced cost is effective. *)
+        let rc = G.reduced_cost g a in
+        if rc = 0 then begin
+          dflux := !dflux + G.rescap g a;
+          add_candidate a
+        end
+        else if rc > 0 then Arc_heap.push pos_heap (rc + !rise_total) a
+      end;
+      it := G.next_active g a
+    done;
+    (de, !dflux)
+  in
+  (* Saturate the balanced crossing arcs (they go reduced-cost-negative
+     once prices rise), pick the smallest positive crossing reduced cost
+     from the heap, and promote newly balanced arcs to candidates.
+     Returns the updated (e_s, out_flux). *)
+  let price_rise e_s out_flux =
+    incr price_rises;
+    let e_s = ref e_s and out_flux = ref out_flux in
+    let continue = ref true in
+    while !continue do
+      match Deque.pop_front candidates with
+      | exception Not_found ->
+          continue := false;
+          out_flux := 0
+      | a ->
+          let f = G.rescap g a in
+          if (not in_s.(G.dst g a)) && f > 0 then begin
+            G.push g a f;
+            incr pushes;
+            e_s := !e_s - f;
+            enqueue_surplus (G.dst g a)
+          end;
+          (* Every pop removes the entry's contribution, stale or not. *)
+          out_flux := !out_flux - f
+    done;
+    (* Find delta: smallest effective reduced cost among valid positive
+       crossing arcs. *)
+    let delta = ref (-1) in
+    while !delta < 0 do
+      if Arc_heap.is_empty pos_heap then raise Infeasible;
+      let key = Arc_heap.peek_key pos_heap and a = Arc_heap.peek_arc pos_heap in
+      if in_s.(G.dst g a) || G.rescap g a = 0 then Arc_heap.pop pos_heap
+      else begin
+        let eff = key - !rise_total in
+        (* Entries are pushed with eff > 0 and eff only shrinks via
+           rise_total; zero entries were promoted at their rise. *)
+        delta := max 1 eff
+      end
+    done;
+    rise_total := !rise_total + !delta;
+    (* Promote arcs that just became balanced. *)
+    let promoting = ref true in
+    while !promoting do
+      if Arc_heap.is_empty pos_heap then promoting := false
+      else begin
+        let key = Arc_heap.peek_key pos_heap and a = Arc_heap.peek_arc pos_heap in
+        if in_s.(G.dst g a) || G.rescap g a = 0 then Arc_heap.pop pos_heap
+        else if key - !rise_total <= 0 then begin
+          Arc_heap.pop pos_heap;
+          out_flux := !out_flux + G.rescap g a;
+          add_candidate a
+        end
+        else promoting := false
+      end
+    done;
+    (!e_s, !out_flux)
+  in
+  let augment t =
+    let rec bottleneck v acc =
+      if pred.(v) < 0 then acc
+      else bottleneck (G.src g pred.(v)) (min acc (G.rescap g pred.(v)))
+    in
+    let rec root v = if pred.(v) < 0 then v else root (G.src g pred.(v)) in
+    let s = root t in
+    (* Saturating pushes during price rises may have drained the phase
+       root's own excess even though S as a whole kept surplus; the
+       remaining members are re-enqueued by the phase epilogue. *)
+    let amount =
+      max 0 (min (G.excess g s) (min (- G.excess g t) (bottleneck t max_int)))
+    in
+    if amount > 0 then begin
+      let rec push_path v =
+        if pred.(v) >= 0 then begin
+          G.push g pred.(v) amount;
+          incr pushes;
+          push_path (G.src g pred.(v))
+        end
+      in
+      push_path t
+    end;
+    enqueue_surplus s
+  in
+  try
+    while not (Queue.is_empty worklist) do
+      let s = Queue.pop worklist in
+      in_worklist.(s) <- false;
+      if G.excess g s > 0 then begin
+        incr iterations;
+        if !iterations land 255 = 0 && stop () then raise Solver_intf.Stop;
+        reset_phase ();
+        pred.(s) <- -1;
+        let e0, f0 = add_to_s s in
+        let e_s = ref e0 and out_flux = ref f0 in
+        (try
+           let running = ref true in
+           while !running do
+             if !e_s <= 0 then
+               (* The surplus moved out of S (saturating pushes). *)
+               running := false
+             else if !e_s > !out_flux then begin
+               let e', f' = price_rise !e_s !out_flux in
+               e_s := e';
+               out_flux := f'
+             end
+             else begin
+               (* Extend S along a balanced crossing arc. Entries going
+                  stale (endpoint joined S) surrender their flux here. *)
+               match Deque.pop_front candidates with
+               | exception Not_found ->
+                   (* Deque empty: true crossing flux is zero. *)
+                   out_flux := 0
+               | a ->
+                   if in_s.(G.dst g a) then out_flux := !out_flux - G.rescap g a
+                   else begin
+                     let j = G.dst g a in
+                     pred.(j) <- a;
+                     if G.excess g j < 0 then begin
+                       commit_rises ();
+                       augment j;
+                       running := false
+                     end
+                     else begin
+                       let de, dflux = add_to_s j in
+                       e_s := !e_s + de;
+                       (* The popped arc is now internal: remove its
+                          contribution along with the additions. *)
+                       out_flux := !out_flux + dflux - G.rescap g a
+                     end
+                   end
+             end
+           done;
+           (* Materialize any rises left pending by a non-augmenting
+              phase end (idempotent after an augment), and hand surplus
+              that moved between members back to the worklist. *)
+           commit_rises ();
+           List.iter (fun i -> enqueue_surplus i) !s_members
+         with e ->
+           commit_rises ();
+           List.iter (fun i -> enqueue_surplus i) !s_members;
+           raise e)
+      end
+    done;
+    (* No surplus left; any remaining deficit means supplies did not sum
+       to zero, i.e. the instance was infeasible from the start. *)
+    let infeasible = ref false in
+    G.iter_nodes g (fun n -> if G.excess g n <> 0 then infeasible := true);
+    if !infeasible then finish Solver_intf.Infeasible else finish Solver_intf.Optimal
+  with
+  | Solver_intf.Stop -> finish Solver_intf.Stopped
+  | Infeasible -> finish Solver_intf.Infeasible

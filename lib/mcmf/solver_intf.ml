@@ -1,0 +1,51 @@
+(** Common types shared by all MCMF algorithms (paper §4).
+
+    Every solver consumes a {!Flowgraph.Graph.t} holding supplies, costs and
+    capacities, and leaves the optimal flow (and its dual potentials) in the
+    graph. Solvers are single-threaded, as in the paper; concurrency comes
+    from racing two solvers on graph copies ({!Race}). *)
+
+(** Why a solve ended. *)
+type outcome =
+  | Optimal  (** feasible flow, no negative residual cycle *)
+  | Infeasible  (** supply cannot be routed within capacities *)
+  | Stopped  (** cancelled by the stop callback or deadline; graph holds a best-effort intermediate state *)
+
+let pp_outcome ppf o =
+  Format.pp_print_string ppf
+    (match o with
+    | Optimal -> "optimal"
+    | Infeasible -> "infeasible"
+    | Stopped -> "stopped")
+
+(** Solve statistics, used by the benchmark harness. [runtime] is wall-clock
+    seconds of the algorithm proper (the paper's "algorithm runtime",
+    Fig. 2b). *)
+type stats = {
+  outcome : outcome;
+  runtime : float;
+  iterations : int;  (** algorithm-specific unit: refines, augmentations, … *)
+  pushes : int;
+  relabels : int;  (** relabels / price rises / potential updates *)
+}
+
+let stats ?(iterations = 0) ?(pushes = 0) ?(relabels = 0) outcome runtime =
+  { outcome; runtime; iterations; pushes; relabels }
+
+(** A cooperative cancellation hook, polled periodically by inner loops.
+    Return [true] to make the solver stop with {!Stopped}. *)
+type stop = unit -> bool
+
+let never_stop : stop = fun () -> false
+
+(** [deadline_stop seconds] stops once [seconds] of wall-clock time have
+    elapsed from the call. Combine with a flag via {!either_stop}. *)
+let deadline_stop seconds : stop =
+  let t0 = Unix.gettimeofday () in
+  fun () -> Unix.gettimeofday () -. t0 > seconds
+
+let flag_stop (flag : bool Atomic.t) : stop = fun () -> Atomic.get flag
+let either_stop a b : stop = fun () -> a () || b ()
+
+exception Stop
+(** Raised internally when the stop callback fires; never escapes [solve]. *)

@@ -1,0 +1,107 @@
+module G = Flowgraph.Graph
+
+(* Saturate every residual arc with negative reduced cost, establishing
+   reduced-cost optimality at the price of feasibility (excesses appear at
+   the endpoints). Shared with Relaxation. *)
+let establish_optimality g =
+  G.iter_arcs g (fun a0 ->
+      let fix a =
+        if G.rescap g a > 0 && G.reduced_cost g a < 0 then G.push g a (G.rescap g a)
+      in
+      fix a0;
+      fix (G.rev a0))
+
+let solve ?(stop = Solver_intf.never_stop) g =
+  let t0 = Unix.gettimeofday () in
+  let iterations = ref 0 in
+  let pushes = ref 0 in
+  let finish outcome =
+    Solver_intf.stats ~iterations:!iterations ~pushes:!pushes outcome
+      (Unix.gettimeofday () -. t0)
+  in
+  let bound = max 1 (G.node_bound g) in
+  let dist = Array.make bound max_int in
+  let parent = Array.make bound (-1) in
+  let settled = Array.make bound false in
+  let heap = Heap.create ~capacity:bound in
+  establish_optimality g;
+  try
+    let rec round () =
+      if stop () then raise Solver_intf.Stop;
+      (* Multi-source Dijkstra from every excess node over reduced costs. *)
+      let sources = ref [] in
+      let deficit_exists = ref false in
+      G.iter_nodes g (fun n ->
+          let e = G.excess g n in
+          if e > 0 then sources := n :: !sources;
+          if e < 0 then deficit_exists := true);
+      match !sources with
+      | [] -> finish Solver_intf.Optimal
+      | srcs ->
+          if not !deficit_exists then finish Solver_intf.Infeasible
+          else begin
+            incr iterations;
+            Array.fill dist 0 bound max_int;
+            Array.fill parent 0 bound (-1);
+            Array.fill settled 0 bound false;
+            Heap.clear heap;
+            List.iter
+              (fun s ->
+                dist.(s) <- 0;
+                Heap.insert heap s 0)
+              srcs;
+            let target = ref (-1) in
+            while !target < 0 && not (Heap.is_empty heap) do
+              let u, du = Heap.pop_min heap in
+              if not settled.(u) then begin
+                settled.(u) <- true;
+                if G.excess g u < 0 then target := u
+                else begin
+                  let it = ref (G.first_active g u) in
+                  while !it >= 0 do
+                    let a = !it in
+                    let v = G.dst g a in
+                    if not settled.(v) then begin
+                      let rc = G.reduced_cost g a in
+                      let dv = du + rc in
+                      if dv < dist.(v) then begin
+                        dist.(v) <- dv;
+                        parent.(v) <- a;
+                        Heap.insert heap v dv
+                      end
+                    end;
+                    it := G.next_active g a
+                  done
+                end
+              end
+            done;
+            if !target < 0 then finish Solver_intf.Infeasible
+            else begin
+              let t = !target in
+              let dt = dist.(t) in
+              (* Potential update keeps all reduced costs non-negative. *)
+              G.iter_nodes g (fun v ->
+                  let dv = if dist.(v) = max_int then dt else min dist.(v) dt in
+                  G.set_potential g v (G.potential g v - dv));
+              (* Augment from the path's root down to t. *)
+              let rec root v = if parent.(v) < 0 then v else root (G.src g parent.(v)) in
+              let s = root t in
+              let rec bottleneck v acc =
+                if parent.(v) < 0 then acc
+                else bottleneck (G.src g parent.(v)) (min acc (G.rescap g parent.(v)))
+              in
+              let amount = min (G.excess g s) (min (- G.excess g t) (bottleneck t max_int)) in
+              let rec push v =
+                if parent.(v) >= 0 then begin
+                  G.push g parent.(v) amount;
+                  incr pushes;
+                  push (G.src g parent.(v))
+                end
+              in
+              push t;
+              round ()
+            end
+          end
+    in
+    round ()
+  with Solver_intf.Stop -> finish Solver_intf.Stopped

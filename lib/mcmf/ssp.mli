@@ -1,0 +1,17 @@
+(** Successive shortest path (Ahuja–Magnanti–Orlin §9.7) — paper §4,
+    Table 1: O(N²·U·log N).
+
+    Maintains reduced-cost optimality at every step and works toward
+    feasibility: negative-cost arcs are saturated up front, then flow is
+    repeatedly augmented from excess nodes to deficit nodes along shortest
+    residual paths (multi-source Dijkstra on reduced costs), updating node
+    potentials after each search so reduced costs stay non-negative. *)
+
+val solve : ?stop:Solver_intf.stop -> Flowgraph.Graph.t -> Solver_intf.stats
+
+(** [establish_optimality g] saturates every residual arc with negative
+    reduced cost, establishing reduced-cost optimality for the current
+    potentials at the price of feasibility (excess appears at endpoints).
+    Shared initialization of the optimality-maintaining algorithms
+    (successive shortest path and relaxation, paper Table 2). *)
+val establish_optimality : Flowgraph.Graph.t -> unit

@@ -1,0 +1,521 @@
+(* Integration tests for the Firmament core: flow-network management,
+   placement extraction (paper Listing 1), the three policies, and the
+   scheduler's placement/migration/preemption loop. *)
+
+module G = Flowgraph.Graph
+module FN = Firmament.Flow_network
+module W = Cluster.Workload
+
+let checki msg = Alcotest.check Alcotest.int msg
+let checkb msg = Alcotest.check Alcotest.bool msg
+
+(* {1 Flow_network} *)
+
+let test_fn_task_lifecycle () =
+  let net = FN.create () in
+  let n1 = FN.add_task net 10 in
+  let _n2 = FN.add_task net 11 in
+  checki "task count" 2 (FN.task_count net);
+  checki "sink demand" (-2) (G.supply (FN.graph net) (FN.sink net));
+  checki "task supply" 1 (G.supply (FN.graph net) n1);
+  checkb "lookup" true (FN.task_node net 10 = Some n1);
+  checkb "reverse lookup" true (FN.task_of_node net n1 = Some 10);
+  FN.remove_task net 10 ~drain:false;
+  checki "after removal" 1 (FN.task_count net);
+  checki "sink demand shrinks" (-1) (G.supply (FN.graph net) (FN.sink net));
+  checkb "gone" true (FN.task_node net 10 = None)
+
+let test_fn_duplicate_task_rejected () =
+  let net = FN.create () in
+  ignore (FN.add_task net 1);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Flow_network.add_task: task 1 already present") (fun () ->
+      ignore (FN.add_task net 1))
+
+let test_fn_machine_and_aggregators () =
+  let net = FN.create () in
+  let m = FN.ensure_machine net 0 ~slots:4 in
+  checkb "machine idempotent" true (FN.ensure_machine net 0 ~slots:4 = m);
+  let sink_arc = FN.find_arc net m (FN.sink net) in
+  checkb "machine has sink arc" true (sink_arc <> None);
+  (match sink_arc with
+  | Some a -> checki "slots capacity" 4 (G.capacity (FN.graph net) a)
+  | None -> ());
+  let u = FN.ensure_unscheduled net 7 in
+  checkb "unsched idempotent" true (FN.ensure_unscheduled net 7 = u);
+  Firmament.Policy.adjust_unscheduled_capacity net 7 ~delta:3;
+  (match FN.find_arc net u (FN.sink net) with
+  | Some a -> checki "unsched capacity grown" 3 (G.capacity (FN.graph net) a)
+  | None -> Alcotest.fail "missing unsched sink arc");
+  checkb "structure valid" true (FN.validate_structure net = [])
+
+(* Build the canonical single-task chain task -> X -> machine -> sink with
+   flow routed, for drain and extraction tests. *)
+let routed_chain () =
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t = FN.add_task net 0 in
+  let x = FN.ensure_cluster_agg net in
+  let m = FN.ensure_machine net 0 ~slots:2 in
+  let a_tx = G.add_arc g ~src:t ~dst:x ~cost:0 ~cap:1 in
+  let a_xm = G.add_arc g ~src:x ~dst:m ~cost:0 ~cap:2 in
+  let a_ms = Option.get (FN.find_arc net m (FN.sink net)) in
+  G.push g a_tx 1;
+  G.push g a_xm 1;
+  G.push g a_ms 1;
+  (net, t, x, m)
+
+let test_fn_drain_removal_keeps_balance () =
+  let net, _, x, m = routed_chain () in
+  let g = FN.graph net in
+  FN.remove_task net 0 ~drain:true;
+  checki "x balanced" 0 (G.excess g x);
+  checki "machine balanced" 0 (G.excess g m);
+  checki "sink balanced" 0 (G.excess g (FN.sink net));
+  checkb "feasible" true (Flowgraph.Validate.is_feasible g)
+
+let test_fn_plain_removal_breaks_balance () =
+  let net, _, x, _ = routed_chain () in
+  let g = FN.graph net in
+  FN.remove_task net 0 ~drain:false;
+  (* The aggregator keeps its outgoing flow but lost its inflow: demand
+     appears mid-graph (the expensive case of §5.3.2). *)
+  checki "x in demand" (-1) (G.excess g x);
+  checkb "infeasible" false (Flowgraph.Validate.is_feasible g)
+
+let test_reroute_direct_moves_flow () =
+  (* task -> X -> R -> m routed; reroute moves the unit onto a direct arc
+     and leaves every node balanced. *)
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t = FN.add_task net 0 in
+  let x = FN.ensure_cluster_agg net in
+  let r = FN.ensure_rack net 0 in
+  let m = FN.ensure_machine net 0 ~slots:2 in
+  let a_tx = G.add_arc g ~src:t ~dst:x ~cost:5 ~cap:1 in
+  let a_xr = G.add_arc g ~src:x ~dst:r ~cost:0 ~cap:4 in
+  let a_rm = G.add_arc g ~src:r ~dst:m ~cost:0 ~cap:4 in
+  let a_ms = Option.get (FN.find_arc net m (FN.sink net)) in
+  List.iter (fun a -> G.push g a 1) [ a_tx; a_xr; a_rm; a_ms ];
+  checkb "reroute succeeds" true (FN.reroute_direct net 0 0 ~cost:0);
+  checkb "feasible" true (Flowgraph.Validate.is_feasible g);
+  let direct = Option.get (FN.find_arc net t m) in
+  checki "direct carries unit" 1 (G.flow g direct);
+  checki "direct cost" 0 (G.cost g direct);
+  checki "old path drained" 0 (G.flow g a_tx);
+  checki "aggregator leg drained" 0 (G.flow g a_xr);
+  checki "machine->sink untouched" 1 (G.flow g a_ms);
+  (* Second call: already direct, a no-op. *)
+  checkb "idempotent" true (FN.reroute_direct net 0 0 ~cost:0)
+
+let test_reroute_direct_unrouted_fails () =
+  let net = FN.create () in
+  ignore (FN.add_task net 0);
+  ignore (FN.ensure_machine net 3 ~slots:1);
+  checkb "unrouted task cannot reroute" false (FN.reroute_direct net 0 3 ~cost:0)
+
+let test_prune_task_arcs_keeps_selected () =
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t = FN.add_task net 0 in
+  let m0 = FN.ensure_machine net 0 ~slots:1 in
+  let m1 = FN.ensure_machine net 1 ~slots:1 in
+  let u = FN.ensure_unscheduled net 0 in
+  ignore (G.add_arc g ~src:t ~dst:m0 ~cost:1 ~cap:1);
+  ignore (G.add_arc g ~src:t ~dst:m1 ~cost:2 ~cap:1);
+  ignore (G.add_arc g ~src:t ~dst:u ~cost:9 ~cap:1);
+  Firmament.Policy.prune_task_arcs net 0 ~keep:[ m0; u ];
+  checkb "kept machine arc" true (FN.find_arc net t m0 <> None);
+  checkb "kept unscheduled arc" true (FN.find_arc net t u <> None);
+  checkb "pruned other machine" true (FN.find_arc net t m1 = None)
+
+(* {1 Placement extraction} *)
+
+let test_extract_simple_chain () =
+  let net, _, _, _ = routed_chain () in
+  let assignments = Firmament.Placement.extract net in
+  Alcotest.(check (list (pair int (option int))))
+    "task placed"
+    [ (0, Some 0) ]
+    (List.map (fun a -> (a.Firmament.Placement.task, a.Firmament.Placement.machine)) assignments)
+
+let test_extract_unscheduled_task () =
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t = FN.add_task net 3 in
+  let u = FN.ensure_unscheduled net 0 in
+  Firmament.Policy.adjust_unscheduled_capacity net 0 ~delta:1;
+  let a_tu = G.add_arc g ~src:t ~dst:u ~cost:5 ~cap:1 in
+  G.push g a_tu 1;
+  G.push g (Option.get (FN.find_arc net u (FN.sink net))) 1;
+  let assignments = Firmament.Placement.extract net in
+  Alcotest.(check (list (pair int (option int))))
+    "unplaced"
+    [ (3, None) ]
+    (List.map (fun a -> (a.Firmament.Placement.task, a.Firmament.Placement.machine)) assignments)
+
+let test_extract_multi_hop_aggregators () =
+  (* Two tasks via rack aggregators on distinct machines. *)
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t0 = FN.add_task net 0 and t1 = FN.add_task net 1 in
+  let r = FN.ensure_rack net 0 in
+  let m0 = FN.ensure_machine net 0 ~slots:1 and m1 = FN.ensure_machine net 1 ~slots:1 in
+  let arc s d c = G.add_arc g ~src:s ~dst:d ~cost:0 ~cap:c in
+  let a0 = arc t0 r 1 and a1 = arc t1 r 1 in
+  let rm0 = arc r m0 1 and rm1 = arc r m1 1 in
+  G.push g a0 1;
+  G.push g a1 1;
+  G.push g rm0 1;
+  G.push g rm1 1;
+  G.push g (Option.get (FN.find_arc net m0 (FN.sink net))) 1;
+  G.push g (Option.get (FN.find_arc net m1 (FN.sink net))) 1;
+  let m = Firmament.Placement.extract_map net in
+  checki "both placed" 2 (Hashtbl.length m);
+  let m0' = Hashtbl.find m 0 and m1' = Hashtbl.find m 1 in
+  checkb "distinct machines" true (m0' <> m1');
+  checkb "valid ids" true (List.mem m0' [ 0; 1 ] && List.mem m1' [ 0; 1 ])
+
+let test_extract_rejects_infeasible () =
+  let net = FN.create () in
+  ignore (FN.add_task net 0);
+  (* Supply 1 with no flow: excess nonzero somewhere (task and sink). *)
+  match Firmament.Placement.extract net with
+  | _ -> Alcotest.fail "expected failure on infeasible flow"
+  | exception Failure msg ->
+      checkb "mentions infeasibility" true
+        (String.length msg > 0
+        && Option.is_some
+             (String.index_opt msg 'i')
+        &&
+        let re = "infeasible" in
+        let rec contains i =
+          if i + String.length re > String.length msg then false
+          else if String.sub msg i (String.length re) = re then true
+          else contains (i + 1)
+        in
+        contains 0)
+
+let test_extract_partial_reads_incomplete_flow () =
+  (* Route only one of two tasks; the lenient extractor reports the other
+     as unplaced instead of failing. *)
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t0 = FN.add_task net 0 in
+  let _t1 = FN.add_task net 1 in
+  let m = FN.ensure_machine net 0 ~slots:2 in
+  let a = G.add_arc g ~src:t0 ~dst:m ~cost:0 ~cap:1 in
+  G.push g a 1;
+  G.push g (Option.get (FN.find_arc net m (FN.sink net))) 1;
+  (match Firmament.Placement.extract net with
+  | _ -> Alcotest.fail "strict extraction must reject infeasible flow"
+  | exception Failure _ -> ());
+  let partial = Firmament.Placement.extract_partial net in
+  Alcotest.(check (list (pair int (option int))))
+    "partial placements"
+    [ (0, Some 0); (1, None) ]
+    (List.map (fun p -> (p.Firmament.Placement.task, p.Firmament.Placement.machine)) partial)
+
+let test_validate_structure_detects_drift () =
+  let net = FN.create () in
+  let m = FN.ensure_machine net 0 ~slots:2 in
+  checkb "valid" true (FN.validate_structure net = []);
+  (* A machine with a non-sink outgoing arc violates the invariant the
+     placement extractor relies on. *)
+  let other = FN.ensure_machine net 1 ~slots:2 in
+  ignore (G.add_arc (FN.graph net) ~src:m ~dst:other ~cost:0 ~cap:1);
+  checkb "violation reported" true (FN.validate_structure net <> [])
+
+(* {1 Scheduler + policies, end to end} *)
+
+let mk_cluster ~machines ~slots =
+  let topo =
+    Cluster.Topology.make ~machines ~machines_per_rack:2 ~slots_per_machine:slots ()
+  in
+  Cluster.State.create topo
+
+let job_of_tasks ~jid ?(klass = Cluster.Types.Batch) ~submit tasks =
+  W.make_job ~jid ~klass ~submit_time:submit ~tasks:(Array.of_list tasks)
+
+let simple_job ~jid ~n ~submit ~duration =
+  job_of_tasks ~jid ~submit
+    (List.init n (fun i ->
+         W.make_task ~tid:((jid * 1000) + i) ~job:jid ~submit_time:submit ~duration ()))
+
+let solve_sched sched ~now = Firmament.Scheduler.schedule sched ~now
+
+let test_load_spread_end_to_end () =
+  let cluster = mk_cluster ~machines:4 ~slots:2 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_load_spread.make ~drain net st)
+  in
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:4 ~submit:0. ~duration:10.);
+  let round = solve_sched sched ~now:0. in
+  checki "all started" 4 (List.length round.Firmament.Scheduler.started);
+  checki "none waiting" 0 (Cluster.State.waiting_count cluster);
+  (* Load-spreading: 4 tasks over 4 machines, one each. *)
+  for m = 0 to 3 do
+    checki "one per machine" 1 (Cluster.State.running_count cluster m)
+  done;
+  (* Finish two, submit three more: spreading continues. *)
+  let t0, _ = List.nth round.Firmament.Scheduler.started 0 in
+  let t1, _ = List.nth round.Firmament.Scheduler.started 1 in
+  Firmament.Scheduler.finish_task sched t0 ~now:10.;
+  Firmament.Scheduler.finish_task sched t1 ~now:10.;
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:1 ~n:3 ~submit:10. ~duration:10.);
+  let round2 = solve_sched sched ~now:10. in
+  checki "three more started" 3 (List.length round2.Firmament.Scheduler.started);
+  let counts = List.init 4 (fun m -> Cluster.State.running_count cluster m) in
+  checki "five running" 5 (List.fold_left ( + ) 0 counts);
+  checkb "max spread" true (List.for_all (fun c -> c <= 2) counts)
+
+let test_load_spread_oversubscription_waits () =
+  let cluster = mk_cluster ~machines:2 ~slots:1 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_load_spread.make ~drain net st)
+  in
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:5 ~submit:0. ~duration:10.);
+  let round = solve_sched sched ~now:0. in
+  checki "only capacity starts" 2 (List.length round.Firmament.Scheduler.started);
+  checki "rest wait" 3 (Cluster.State.waiting_count cluster);
+  checki "reported unscheduled" 3 round.Firmament.Scheduler.unscheduled
+
+let quincy_task ~tid ~job ~submit ~duration ~input_mb ~input_machines =
+  W.make_task ~tid ~job ~submit_time:submit ~duration ~input_mb ~input_machines ()
+
+let test_quincy_prefers_local_data () =
+  let cluster = mk_cluster ~machines:4 ~slots:2 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_quincy.make ~drain net st)
+  in
+  (* All input on machine 2: scheduling there transfers nothing. *)
+  let t =
+    quincy_task ~tid:0 ~job:0 ~submit:0. ~duration:10. ~input_mb:1000.
+      ~input_machines:[ 2; 2; 2 ]
+  in
+  Firmament.Scheduler.submit_job sched (job_of_tasks ~jid:0 ~submit:0. [ t ]);
+  let round = solve_sched sched ~now:0. in
+  Alcotest.(check (list (pair int int))) "placed on data" [ (0, 2) ] round.Firmament.Scheduler.started
+
+let test_quincy_falls_back_when_preferred_full () =
+  let cluster = mk_cluster ~machines:2 ~slots:1 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_quincy.make ~drain net st)
+  in
+  let mk tid = quincy_task ~tid ~job:0 ~submit:0. ~duration:10. ~input_mb:100. ~input_machines:[ 0; 0; 0 ] in
+  (* Two tasks both preferring machine 0 (slots 1): one falls back. *)
+  Firmament.Scheduler.submit_job sched (job_of_tasks ~jid:0 ~submit:0. [ mk 0; mk 1 ]);
+  let round = solve_sched sched ~now:0. in
+  checki "both scheduled" 2 (List.length round.Firmament.Scheduler.started);
+  let machines = List.map snd round.Firmament.Scheduler.started |> List.sort compare in
+  Alcotest.(check (list int)) "one per machine" [ 0; 1 ] machines
+
+let test_quincy_service_priority_preempts () =
+  let cluster = mk_cluster ~machines:1 ~slots:1 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_quincy.make ~drain net st)
+  in
+  let batch = quincy_task ~tid:0 ~job:0 ~submit:0. ~duration:1000. ~input_mb:10. ~input_machines:[] in
+  Firmament.Scheduler.submit_job sched (job_of_tasks ~jid:0 ~submit:0. [ batch ]);
+  let r1 = solve_sched sched ~now:0. in
+  checki "batch starts" 1 (List.length r1.Firmament.Scheduler.started);
+  (* A service task arrives; the only slot is taken by batch work. *)
+  let service = quincy_task ~tid:100 ~job:1 ~submit:5. ~duration:1e7 ~input_mb:0. ~input_machines:[] in
+  Firmament.Scheduler.submit_job sched
+    (job_of_tasks ~jid:1 ~klass:Cluster.Types.Service ~submit:5. [ service ]);
+  let r2 = solve_sched sched ~now:5. in
+  checkb "batch preempted" true (List.mem 0 r2.Firmament.Scheduler.preempted);
+  Alcotest.(check (list (pair int int))) "service placed" [ (100, 0) ] r2.Firmament.Scheduler.started
+
+let test_network_aware_avoids_loaded_machine () =
+  let cluster = mk_cluster ~machines:2 ~slots:4 in
+  (* Machine 0 is saturated by background traffic. *)
+  let background m = if m = 0 then 9_900 else 0 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_network_aware.make ~bandwidth_used:background ~drain net st)
+  in
+  let t =
+    W.make_task ~tid:0 ~job:0 ~submit_time:0. ~duration:10. ~net_demand_mbps:500 ()
+  in
+  Firmament.Scheduler.submit_job sched (job_of_tasks ~jid:0 ~submit:0. [ t ]);
+  let round = solve_sched sched ~now:0. in
+  Alcotest.(check (list (pair int int)))
+    "avoids machine 0" [ (0, 1) ] round.Firmament.Scheduler.started
+
+let test_network_aware_balances_bandwidth () =
+  let cluster = mk_cluster ~machines:2 ~slots:8 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_network_aware.make ~drain net st)
+  in
+  let tasks =
+    List.init 4 (fun i ->
+        W.make_task ~tid:i ~job:0 ~submit_time:0. ~duration:100. ~net_demand_mbps:3000 ())
+  in
+  Firmament.Scheduler.submit_job sched (job_of_tasks ~jid:0 ~submit:0. tasks);
+  let round = solve_sched sched ~now:0. in
+  checki "all placed" 4 (List.length round.Firmament.Scheduler.started);
+  (* 4 x 3000 Mbps over 2 x 10G links: the only non-overcommitting split
+     is 2+2. *)
+  checki "balanced" 2 (Cluster.State.running_count cluster 0);
+  checki "balanced" 2 (Cluster.State.running_count cluster 1)
+
+let test_machine_failure_reschedules () =
+  let cluster = mk_cluster ~machines:2 ~slots:2 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_load_spread.make ~drain net st)
+  in
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:2 ~submit:0. ~duration:100.);
+  let r1 = solve_sched sched ~now:0. in
+  checki "started" 2 (List.length r1.Firmament.Scheduler.started);
+  (* Kill machine 0; its task must move to machine 1. *)
+  Firmament.Scheduler.fail_machine sched 0;
+  let r2 = solve_sched sched ~now:1. in
+  checki "victim rescheduled" 1 (List.length r2.Firmament.Scheduler.started);
+  checki "machine 1 hosts both" 2 (Cluster.State.running_count cluster 1);
+  (* Restore machine 0: spreading brings one task back eventually on new
+     submissions. *)
+  Firmament.Scheduler.restore_machine sched 0;
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:1 ~n:1 ~submit:2. ~duration:100.);
+  let r3 = solve_sched sched ~now:2. in
+  checki "new task started" 1 (List.length r3.Firmament.Scheduler.started);
+  checki "lands on restored machine" 1 (Cluster.State.running_count cluster 0)
+
+let test_scheduler_parallel_race_mode () =
+  (* End-to-end with the real two-domain race. *)
+  let cluster = mk_cluster ~machines:4 ~slots:2 in
+  let sched =
+    Firmament.Scheduler.create
+      ~config:{ Firmament.Scheduler.default_config with mode = Mcmf.Race.Race_parallel }
+      cluster
+      ~policy:(fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st)
+  in
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:6 ~submit:0. ~duration:10.);
+  let round = solve_sched sched ~now:0. in
+  checki "all placed" 6 (List.length round.Firmament.Scheduler.started);
+  (* Subsequent incremental round after completions. *)
+  let tid, _ = List.hd round.Firmament.Scheduler.started in
+  Firmament.Scheduler.finish_task sched tid ~now:5.;
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:1 ~n:1 ~submit:5. ~duration:10.);
+  let round2 = solve_sched sched ~now:5. in
+  checki "replacement placed" 1 (List.length round2.Firmament.Scheduler.started)
+
+let test_quincy_threshold_controls_arc_count () =
+  (* A lower preference threshold admits more preference arcs (Fig. 15's
+     mechanism). *)
+  let arcs_for threshold =
+    let cluster = mk_cluster ~machines:8 ~slots:2 in
+    let sched =
+      Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+          Firmament.Policy_quincy.make
+            ~config:
+              {
+                Firmament.Policy_quincy.default_config with
+                preference_threshold = threshold;
+              }
+            ~drain net st)
+    in
+    (* One block on each of 8 machines: per-machine fraction is 1/8 = 12.5%. *)
+    let t =
+      quincy_task ~tid:0 ~job:0 ~submit:0. ~duration:10. ~input_mb:800.
+        ~input_machines:[ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    in
+    Firmament.Scheduler.submit_job sched (job_of_tasks ~jid:0 ~submit:0. [ t ]);
+    let net = Firmament.Scheduler.network sched in
+    let tn = Option.get (FN.task_node net 0) in
+    let g = FN.graph net in
+    let count = ref 0 in
+    G.iter_out g tn (fun a -> if G.is_forward a then incr count);
+    !count
+  in
+  let narrow = arcs_for 0.14 in
+  let wide = arcs_for 0.02 in
+  checkb "2% threshold adds preference arcs" true (wide > narrow)
+
+let test_network_aware_bucket_rounding () =
+  let config = Firmament.Policy_network_aware.default_config in
+  checki "rounds up" 200 (Firmament.Policy_network_aware.bucket_of ~config 101);
+  checki "exact" 200 (Firmament.Policy_network_aware.bucket_of ~config 200);
+  checki "minimum one bucket" 100 (Firmament.Policy_network_aware.bucket_of ~config 0)
+
+let test_scheduler_quincy_mode_matches_firmament_placements () =
+  (* Same workload under Quincy configuration (from-scratch cost scaling)
+     and Firmament (race): identical placement *cost* since both optimal. *)
+  let run mode =
+    let cluster = mk_cluster ~machines:4 ~slots:2 in
+    let sched =
+      Firmament.Scheduler.create
+        ~config:{ Firmament.Scheduler.default_config with mode }
+        cluster
+        ~policy:(fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st)
+    in
+    let tasks =
+      List.init 6 (fun i ->
+          quincy_task ~tid:i ~job:0 ~submit:0. ~duration:10. ~input_mb:200.
+            ~input_machines:[ i mod 4; (i + 1) mod 4; i mod 4 ])
+    in
+    Firmament.Scheduler.submit_job sched (job_of_tasks ~jid:0 ~submit:0. tasks);
+    let _ = solve_sched sched ~now:0. in
+    G.total_cost (FN.graph (Firmament.Scheduler.network sched))
+  in
+  let c_quincy = run Mcmf.Race.Cost_scaling_scratch_only in
+  let c_firm = run Mcmf.Race.Fastest_sequential in
+  checki "same optimal cost" c_quincy c_firm
+
+let () =
+  Alcotest.run "firmament"
+    [
+      ( "flow-network",
+        [
+          Alcotest.test_case "task lifecycle" `Quick test_fn_task_lifecycle;
+          Alcotest.test_case "duplicate task rejected" `Quick test_fn_duplicate_task_rejected;
+          Alcotest.test_case "machines and aggregators" `Quick test_fn_machine_and_aggregators;
+          Alcotest.test_case "drain removal keeps balance" `Quick test_fn_drain_removal_keeps_balance;
+          Alcotest.test_case "reroute direct moves flow" `Quick test_reroute_direct_moves_flow;
+          Alcotest.test_case "reroute fails when unrouted" `Quick
+            test_reroute_direct_unrouted_fails;
+          Alcotest.test_case "prune keeps selected arcs" `Quick test_prune_task_arcs_keeps_selected;
+          Alcotest.test_case "plain removal breaks balance" `Quick
+            test_fn_plain_removal_breaks_balance;
+        ] );
+      ( "placement",
+        [
+          Alcotest.test_case "partial extraction" `Quick test_extract_partial_reads_incomplete_flow;
+          Alcotest.test_case "structure validation" `Quick test_validate_structure_detects_drift;
+          Alcotest.test_case "simple chain" `Quick test_extract_simple_chain;
+          Alcotest.test_case "unscheduled task" `Quick test_extract_unscheduled_task;
+          Alcotest.test_case "multi-hop aggregators" `Quick test_extract_multi_hop_aggregators;
+          Alcotest.test_case "rejects infeasible flow" `Quick test_extract_rejects_infeasible;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "load spreading end to end" `Quick test_load_spread_end_to_end;
+          Alcotest.test_case "oversubscription leaves tasks waiting" `Quick
+            test_load_spread_oversubscription_waits;
+          Alcotest.test_case "quincy prefers local data" `Quick test_quincy_prefers_local_data;
+          Alcotest.test_case "quincy falls back when preferred full" `Quick
+            test_quincy_falls_back_when_preferred_full;
+          Alcotest.test_case "quincy service priority preempts" `Quick
+            test_quincy_service_priority_preempts;
+          Alcotest.test_case "network-aware avoids loaded machine" `Quick
+            test_network_aware_avoids_loaded_machine;
+          Alcotest.test_case "network-aware balances bandwidth" `Quick
+            test_network_aware_balances_bandwidth;
+          Alcotest.test_case "machine failure reschedules" `Quick test_machine_failure_reschedules;
+          Alcotest.test_case "quincy mode matches firmament cost" `Quick
+            test_scheduler_quincy_mode_matches_firmament_placements;
+          Alcotest.test_case "parallel race mode end to end" `Quick
+            test_scheduler_parallel_race_mode;
+          Alcotest.test_case "quincy threshold controls arcs" `Quick
+            test_quincy_threshold_controls_arc_count;
+          Alcotest.test_case "network-aware bucket rounding" `Quick
+            test_network_aware_bucket_rounding;
+        ] );
+    ]

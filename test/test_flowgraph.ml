@@ -1,0 +1,547 @@
+(* Unit and property tests for the flowgraph substrate: graph invariants,
+   change classification (paper Table 3), validators, DIMACS I/O. *)
+
+module G = Flowgraph.Graph
+module Changes = Flowgraph.Changes
+module Validate = Flowgraph.Validate
+module Dimacs = Flowgraph.Dimacs
+module Vec = Flowgraph.Vec
+
+let check = Alcotest.check
+let checki msg = check Alcotest.int msg
+let checkb msg = check Alcotest.bool msg
+
+(* {1 Vec} *)
+
+let test_vec_push_pop () =
+  let v = Vec.create ~dummy:0 in
+  for i = 0 to 99 do
+    checki "push index" i (Vec.push v i)
+  done;
+  checki "length" 100 (Vec.length v);
+  for i = 99 downto 0 do
+    checki "pop" i (Vec.pop v)
+  done;
+  checkb "empty" true (Vec.is_empty v)
+
+let test_vec_grow_set () =
+  let v = Vec.make 3 ~dummy:(-1) 7 in
+  Vec.grow_to v 10 9;
+  checki "old" 7 (Vec.get v 2);
+  checki "new" 9 (Vec.get v 9);
+  Vec.set v 0 42;
+  checki "set" 42 (Vec.get v 0);
+  let c = Vec.copy v in
+  Vec.set v 0 0;
+  checki "copy is independent" 42 (Vec.get c 0);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec.get") (fun () -> ignore (Vec.get v 10))
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list ~dummy:0 [ 1; 2; 3; 4 ] in
+  checki "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check
+    Alcotest.(list (pair int int))
+    "iteri" [ (0, 1); (1, 2); (2, 3); (3, 4) ] (List.rev !acc);
+  check Alcotest.(list int) "to_list" [ 1; 2; 3; 4 ] (Vec.to_list v)
+
+(* {1 Graph basics} *)
+
+let triangle () =
+  let g = G.create () in
+  let a = G.add_node g ~supply:2 in
+  let b = G.add_node g ~supply:0 in
+  let c = G.add_node g ~supply:(-2) in
+  let ab = G.add_arc g ~src:a ~dst:b ~cost:1 ~cap:5 in
+  let bc = G.add_arc g ~src:b ~dst:c ~cost:2 ~cap:5 in
+  let ac = G.add_arc g ~src:a ~dst:c ~cost:10 ~cap:5 in
+  (g, a, b, c, ab, bc, ac)
+
+let test_graph_construction () =
+  let g, a, b, c, ab, _, _ = triangle () in
+  checki "nodes" 3 (G.node_count g);
+  checki "arcs" 3 (G.arc_count g);
+  checki "supply a" 2 (G.supply g a);
+  checki "excess a" 2 (G.excess g a);
+  checki "excess c" (-2) (G.excess g c);
+  checki "src" a (G.src g ab);
+  checki "dst" b (G.dst g ab);
+  checki "cost" 1 (G.cost g ab);
+  checki "rev cost" (-1) (G.cost g (G.rev ab));
+  checki "cap" 5 (G.capacity g ab);
+  checki "flow" 0 (G.flow g ab);
+  checkb "forward" true (G.is_forward ab);
+  checkb "reverse" false (G.is_forward (G.rev ab))
+
+let test_graph_push_excess () =
+  let g, a, b, c, ab, bc, _ = triangle () in
+  G.push g ab 2;
+  checki "excess a after push" 0 (G.excess g a);
+  checki "excess b after push" 2 (G.excess g b);
+  checki "flow ab" 2 (G.flow g ab);
+  checki "rescap ab" 3 (G.rescap g ab);
+  checki "rescap rev ab" 2 (G.rescap g (G.rev ab));
+  G.push g bc 2;
+  checki "excess b drained" 0 (G.excess g b);
+  checki "excess c" 0 (G.excess g c);
+  checkb "feasible" true (Validate.is_feasible g);
+  checki "total cost" ((2 * 1) + (2 * 2)) (G.total_cost g);
+  (* Push back along the reverse arc. *)
+  G.push g (G.rev bc) 1;
+  checki "flow bc after unwind" 1 (G.flow g bc);
+  checki "excess b" 1 (G.excess g b);
+  Alcotest.check_raises "over-push" (Invalid_argument "Graph.push: exceeds residual capacity")
+    (fun () -> G.push g ab 100)
+
+let test_graph_remove_arc_credits_flow () =
+  let g, a, b, _, ab, _, _ = triangle () in
+  G.push g ab 2;
+  G.remove_arc g ab;
+  checki "arc count" 2 (G.arc_count g);
+  checki "excess a credited" 2 (G.excess g a);
+  checki "excess b debited" 0 (G.excess g b);
+  checkb "dead arc" false (G.arc_is_live g ab)
+
+let test_graph_remove_node_removes_incident () =
+  let g, _, b, _, _, _, _ = triangle () in
+  G.remove_node g b;
+  checki "nodes" 2 (G.node_count g);
+  checki "arcs" 1 (G.arc_count g);
+  checkb "b dead" false (G.node_is_live g b);
+  (* Recycled ids still work. *)
+  let b' = G.add_node g ~supply:5 in
+  checki "recycled id" b b';
+  checki "fresh supply" 5 (G.supply g b');
+  checki "fresh excess" 5 (G.excess g b');
+  checki "no stale arcs" 0 (G.out_degree g b')
+
+let test_graph_set_capacity_overflow () =
+  let g, a, b, _, ab, _, _ = triangle () in
+  G.push g ab 2;
+  G.set_capacity g ab 1;
+  checki "flow clamped" 1 (G.flow g ab);
+  checki "capacity" 1 (G.capacity g ab);
+  checki "excess a regains overflow" 1 (G.excess g a);
+  checki "excess b loses overflow" 1 (G.excess g b);
+  G.set_capacity g ab 7;
+  checki "grown capacity" 7 (G.capacity g ab);
+  checki "flow kept" 1 (G.flow g ab)
+
+let test_graph_set_supply_shifts_excess () =
+  let g, a, _, _, _, _, _ = triangle () in
+  G.set_supply g a 5;
+  checki "supply" 5 (G.supply g a);
+  checki "excess follows" 5 (G.excess g a)
+
+let test_graph_reset_flow () =
+  let g, a, _, c, ab, bc, _ = triangle () in
+  G.push g ab 2;
+  G.push g bc 2;
+  G.set_potential g a 3;
+  G.reset_flow g;
+  checki "flow zero" 0 (G.flow g ab);
+  checki "excess restored" 2 (G.excess g a);
+  checki "excess restored sink" (-2) (G.excess g c);
+  checki "potential cleared" 0 (G.potential g a)
+
+let test_graph_reduced_cost () =
+  let g, a, b, _, ab, _, _ = triangle () in
+  G.set_potential g a 4;
+  G.set_potential g b 1;
+  checki "reduced" (1 - 4 + 1) (G.reduced_cost g ab);
+  checki "reduced rev" (-(1 - 4 + 1)) (G.reduced_cost g (G.rev ab))
+
+let test_graph_iter_out_covers_both_directions () =
+  let g, _, b, _, ab, bc, _ = triangle () in
+  let seen = ref [] in
+  G.iter_out g b (fun x -> seen := x :: !seen);
+  checkb "contains forward bc" true (List.mem bc !seen);
+  checkb "contains reverse of ab" true (List.mem (G.rev ab) !seen);
+  checki "degree" 2 (List.length !seen)
+
+let test_graph_change_summary () =
+  let g, _, _, _, ab, _, _ = triangle () in
+  ignore (G.take_changes g);
+  G.set_cost g ab 99;
+  G.set_capacity g ab 3;
+  let s = G.take_changes g in
+  checki "cost changes" 1 s.G.cost_changes;
+  checki "cap changes" 1 s.G.capacity_changes;
+  checki "max changed cost" 99 s.G.max_changed_cost;
+  let s' = G.take_changes g in
+  checki "reset" 0 s'.G.cost_changes
+
+(* {1 Change classification — paper Table 3} *)
+
+let test_table3_increase_capacity () =
+  (* Negative reduced cost: new residual capacity breaks optimality. *)
+  let e = Changes.capacity_change ~reduced_cost:(-1) ~flow:5 ~old_cap:5 ~new_cap:9 in
+  checkb "breaks optimality" true e.Changes.breaks_optimality;
+  checkb "keeps feasibility" false e.Changes.breaks_feasibility;
+  (* Zero or positive reduced cost: stays optimal and feasible. *)
+  List.iter
+    (fun rc ->
+      let e = Changes.capacity_change ~reduced_cost:rc ~flow:0 ~old_cap:5 ~new_cap:9 in
+      checkb "green cell" false (e.Changes.breaks_optimality || e.Changes.breaks_feasibility))
+    [ 0; 3 ]
+
+let test_table3_decrease_capacity () =
+  (* Breaks feasibility iff flow exceeds the new bound. *)
+  let e = Changes.capacity_change ~reduced_cost:(-2) ~flow:5 ~old_cap:5 ~new_cap:3 in
+  checkb "f > u' breaks feasibility" true e.Changes.breaks_feasibility;
+  checkb "not optimality" false e.Changes.breaks_optimality;
+  let e = Changes.capacity_change ~reduced_cost:0 ~flow:2 ~old_cap:5 ~new_cap:3 in
+  checkb "f <= u' fine" false (e.Changes.breaks_feasibility || e.Changes.breaks_optimality)
+
+let test_table3_increase_cost () =
+  (* cpi < 0 -> breaks iff new reduced cost positive (arc was saturated). *)
+  let e = Changes.cost_change ~reduced_cost_after:2 ~flow:5 ~forward_rescap:0 in
+  checkb "c' > 0 with flow breaks" true e.Changes.breaks_optimality;
+  (* cpi = 0 -> breaks iff carrying flow. *)
+  let e = Changes.cost_change ~reduced_cost_after:1 ~flow:3 ~forward_rescap:2 in
+  checkb "f > 0 breaks" true e.Changes.breaks_optimality;
+  let e = Changes.cost_change ~reduced_cost_after:1 ~flow:0 ~forward_rescap:2 in
+  checkb "f = 0 fine" false e.Changes.breaks_optimality;
+  (* cpi > 0 -> still positive, no flow: fine. *)
+  let e = Changes.cost_change ~reduced_cost_after:5 ~flow:0 ~forward_rescap:4 in
+  checkb "green" false e.Changes.breaks_optimality
+
+let test_table3_decrease_cost () =
+  (* cpi > 0 -> breaks iff new reduced cost negative (spare capacity). *)
+  let e = Changes.cost_change ~reduced_cost_after:(-1) ~flow:0 ~forward_rescap:4 in
+  checkb "c' < 0 with rescap breaks" true e.Changes.breaks_optimality;
+  (* Saturated arc going more negative stays compliant. *)
+  let e = Changes.cost_change ~reduced_cost_after:(-3) ~flow:5 ~forward_rescap:0 in
+  checkb "saturated fine" false e.Changes.breaks_optimality
+
+let test_table3_supply_change () =
+  checkb "delta breaks feasibility" true (Changes.supply_change ~delta:1).Changes.breaks_feasibility;
+  checkb "no delta" false (Changes.supply_change ~delta:0).Changes.breaks_feasibility
+
+let test_classify_arc_live () =
+  let g, _, _, _, ab, _, _ = triangle () in
+  let e = Changes.classify_arc g ab ~f:(fun () -> G.set_cost g ab (-4)) in
+  checkb "cost drop on empty arc breaks optimality" true e.Changes.breaks_optimality;
+  let e = Changes.classify_arc g ab ~f:(fun () -> G.set_capacity g ab 2) in
+  checkb "cap shrink above flow fine" false e.Changes.breaks_feasibility
+
+(* {1 Validators} *)
+
+let test_validate_feasibility () =
+  let g, _, _, _, ab, bc, _ = triangle () in
+  checkb "initially infeasible (excess)" false (Validate.is_feasible g);
+  G.push g ab 2;
+  G.push g bc 2;
+  checkb "feasible after routing" true (Validate.is_feasible g)
+
+let test_validate_negative_cycle () =
+  let g = G.create () in
+  let a = G.add_node g ~supply:0 in
+  let b = G.add_node g ~supply:0 in
+  let ab = G.add_arc g ~src:a ~dst:b ~cost:1 ~cap:5 in
+  ignore (G.add_arc g ~src:b ~dst:a ~cost:(-3) ~cap:5);
+  checkb "has negative cycle" true (Validate.negative_cycle g <> None);
+  checkb "not optimal" false (Validate.is_optimal g);
+  (* Kill the cycle by zeroing capacity along one direction. *)
+  G.set_capacity g ab 0;
+  checkb "no cycle left" true (Validate.negative_cycle g = None)
+
+let test_validate_reduced_cost () =
+  let g, a, _, _, _, _, _ = triangle () in
+  checkb "zero potentials, positive costs: rc-optimal" true (Validate.is_reduced_cost_optimal g);
+  G.set_potential g a 10;
+  checkb "skewed potentials violate" false (Validate.is_reduced_cost_optimal g);
+  checkb "but are 10-optimal" true (Validate.is_epsilon_optimal g ~eps:10)
+
+(* {1 DIMACS} *)
+
+let test_dimacs_roundtrip () =
+  let g, _, _, _, _, _, _ = triangle () in
+  let text = Dimacs.emit g in
+  let g', _ = Dimacs.parse_string text in
+  checki "nodes" (G.node_count g) (G.node_count g');
+  checki "arcs" (G.arc_count g) (G.arc_count g');
+  let cost_multiset gr =
+    let acc = ref [] in
+    G.iter_arcs gr (fun a -> acc := (G.cost gr a, G.capacity gr a) :: !acc);
+    List.sort compare !acc
+  in
+  check
+    Alcotest.(list (pair int int))
+    "arc data survives" (cost_multiset g) (cost_multiset g')
+
+let test_dimacs_rejects_garbage () =
+  Alcotest.check_raises "no problem line" (Failure "Dimacs.parse: missing problem line")
+    (fun () -> ignore (Dimacs.parse_string "c nothing"));
+  let bad = "p min 2 1\na 1 2 1 5 3" in
+  Alcotest.check_raises "lower bound" (Failure "Dimacs.parse: non-zero lower bounds unsupported")
+    (fun () -> ignore (Dimacs.parse_string bad))
+
+let test_dimacs_solution_lines () =
+  let g, _, _, _, ab, bc, _ = triangle () in
+  G.push g ab 2;
+  G.push g bc 2;
+  let s = Dimacs.emit_solution g in
+  checkb "has objective" true (String.length s > 0 && s.[0] = 's');
+  checkb "mentions flow" true
+    (String.split_on_char '\n' s
+    |> List.exists (fun l -> String.length l > 0 && l.[0] = 'f'))
+
+(* {1 Property tests} *)
+
+let arbitrary_ops = QCheck.(list_of_size Gen.(int_range 1 60) (int_range 0 99))
+
+let prop_excess_conservation =
+  (* Sum of excesses always equals sum of supplies, under any mutation mix. *)
+  QCheck.Test.make ~name:"excess conservation under random mutations" ~count:200 arbitrary_ops
+    (fun ops ->
+      let g = G.create () in
+      let nodes = ref [] in
+      let arcs = ref [] in
+      let rand_node seed =
+        match !nodes with
+        | [] -> None
+        | ns -> Some (List.nth ns (seed mod List.length ns))
+      in
+      let rand_arc seed =
+        match !arcs with
+        | [] -> None
+        | az -> Some (List.nth az (seed mod List.length az))
+      in
+      List.iteri
+        (fun i op ->
+          match op mod 7 with
+          | 0 -> nodes := G.add_node g ~supply:((i mod 5) - 2) :: !nodes
+          | 1 -> (
+              match (rand_node op, rand_node (op + i)) with
+              | Some a, Some b when a <> b ->
+                  arcs := G.add_arc g ~src:a ~dst:b ~cost:(op - 50) ~cap:(op mod 10) :: !arcs
+              | _ -> ())
+          | 2 -> (
+              match rand_arc op with
+              | Some a when G.arc_is_live g a ->
+                  let d = min (G.rescap g a) 3 in
+                  G.push g a d
+              | _ -> ())
+          | 3 -> (
+              match rand_arc op with
+              | Some a when G.arc_is_live g a -> G.set_capacity g a (op mod 6)
+              | _ -> ())
+          | 4 -> (
+              match rand_arc op with
+              | Some a when G.arc_is_live g a -> G.set_cost g a ((op mod 21) - 10)
+              | _ -> ())
+          | 5 -> (
+              match rand_node op with
+              | Some n when G.node_is_live g n -> G.set_supply g n ((op mod 9) - 4)
+              | _ -> ())
+          | 6 -> (
+              match rand_arc op with
+              | Some a when G.arc_is_live g a ->
+                  G.remove_arc g a;
+                  arcs := List.filter (fun x -> x <> a) !arcs
+              | _ -> ())
+          | _ -> ())
+        ops;
+      let sum_supply = ref 0 and sum_excess = ref 0 in
+      G.iter_nodes g (fun n ->
+          sum_supply := !sum_supply + G.supply g n;
+          sum_excess := !sum_excess + G.excess g n);
+      !sum_supply = !sum_excess)
+
+let prop_flow_conservation =
+  (* After pushes only, excess(n) = supply(n) + inflow - outflow. *)
+  QCheck.Test.make ~name:"excess matches recomputed net flow" ~count:200 arbitrary_ops
+    (fun ops ->
+      let g = G.create () in
+      let n = 8 in
+      let nodes = Array.init n (fun i -> G.add_node g ~supply:(i - 4)) in
+      let arcs = ref [] in
+      List.iter
+        (fun op ->
+          let a = nodes.(op mod n) and b = nodes.((op / 3) mod n) in
+          if a <> b then arcs := G.add_arc g ~src:a ~dst:b ~cost:op ~cap:(op mod 7) :: !arcs)
+        ops;
+      List.iteri
+        (fun i a ->
+          let d = min (G.rescap g a) (i mod 3) in
+          G.push g a d)
+        !arcs;
+      let inflow = Array.make n 0 and outflow = Array.make n 0 in
+      let index nd =
+        let rec find i = if nodes.(i) = nd then i else find (i + 1) in
+        find 0
+      in
+      G.iter_arcs g (fun a ->
+          let f = G.flow g a in
+          outflow.(index (G.src g a)) <- outflow.(index (G.src g a)) + f;
+          inflow.(index (G.dst g a)) <- inflow.(index (G.dst g a)) + f);
+      Array.for_all
+        (fun i -> G.excess g nodes.(i) = G.supply g nodes.(i) + inflow.(i) - outflow.(i))
+        (Array.init n Fun.id))
+
+(* The active adjacency list must contain exactly the residual arcs with
+   positive capacity, for every node, under any mutation sequence. *)
+let active_list_consistent g =
+  let ok = ref true in
+  G.iter_nodes g (fun n ->
+      (* Collect active list. *)
+      let active = Hashtbl.create 8 in
+      let it = ref (G.first_active g n) in
+      while !it >= 0 do
+        Hashtbl.replace active !it ();
+        it := G.next_active g !it
+      done;
+      (* Compare against the full list filtered by rescap. *)
+      let expected = Hashtbl.create 8 in
+      G.iter_out g n (fun a -> if G.rescap g a > 0 then Hashtbl.replace expected a ());
+      if Hashtbl.length active <> Hashtbl.length expected then ok := false
+      else
+        Hashtbl.iter (fun a () -> if not (Hashtbl.mem expected a) then ok := false) active);
+  !ok
+
+let prop_active_list_matches_rescap =
+  QCheck.Test.make ~name:"active lists track positive residual capacity" ~count:300
+    arbitrary_ops
+    (fun ops ->
+      let g = G.create () in
+      let nodes = ref [] in
+      let arcs = ref [] in
+      let rand_node seed =
+        match !nodes with [] -> None | ns -> Some (List.nth ns (seed mod List.length ns))
+      in
+      let rand_arc seed =
+        match !arcs with [] -> None | az -> Some (List.nth az (seed mod List.length az))
+      in
+      List.iteri
+        (fun i op ->
+          match op mod 8 with
+          | 0 -> nodes := G.add_node g ~supply:(i mod 3) :: !nodes
+          | 1 -> (
+              match (rand_node op, rand_node (op + i)) with
+              | Some a, Some b when a <> b ->
+                  arcs := G.add_arc g ~src:a ~dst:b ~cost:op ~cap:(op mod 5) :: !arcs
+              | _ -> ())
+          | 2 | 3 -> (
+              match rand_arc op with
+              | Some a when G.arc_is_live g a ->
+                  let r = if op mod 2 = 0 then a else G.rev a in
+                  G.push g r (min (G.rescap g r) ((op mod 3) + 1))
+              | _ -> ())
+          | 4 -> (
+              match rand_arc op with
+              | Some a when G.arc_is_live g a -> G.set_capacity g a (op mod 7)
+              | _ -> ())
+          | 5 -> (
+              match rand_arc op with
+              | Some a when G.arc_is_live g a ->
+                  G.remove_arc g a;
+                  arcs := List.filter (fun x -> x <> a) !arcs
+              | _ -> ())
+          | 6 -> (
+              match rand_node op with
+              | Some n when G.node_is_live g n && op mod 5 = 0 ->
+                  (* Occasionally remove a node (and its arcs). *)
+                  let dead = ref [] in
+                  G.iter_out g n (fun a -> dead := (a land lnot 1) :: !dead);
+                  G.remove_node g n;
+                  nodes := List.filter (fun x -> x <> n) !nodes;
+                  arcs := List.filter (fun a -> not (List.mem (a land lnot 1) !dead)) !arcs
+              | _ -> ())
+          | 7 -> if op mod 13 = 0 then G.reset_flow g
+          | _ -> ())
+        ops;
+      active_list_consistent g)
+
+let test_active_list_after_push_cycle () =
+  let g, _, _, _, ab, _, _ = triangle () in
+  checkb "initially consistent" true (active_list_consistent g);
+  G.push g ab 5;
+  (* Saturated: forward leaves active list, reverse joins. *)
+  checkb "after saturation" true (active_list_consistent g);
+  G.push g (G.rev ab) 5;
+  checkb "after unwind" true (active_list_consistent g)
+
+let test_fast_iteration_matches_iter_out () =
+  let g, _, b, _, _, _, _ = triangle () in
+  let via_closure = ref [] in
+  G.iter_out g b (fun a -> via_closure := a :: !via_closure);
+  let via_loop = ref [] in
+  let it = ref (G.first_out g b) in
+  while !it >= 0 do
+    via_loop := !it :: !via_loop;
+    it := G.next_out g !it
+  done;
+  check Alcotest.(list int) "same arcs" !via_closure !via_loop
+
+let test_copy_is_independent () =
+  let g, a, _, _, ab, _, _ = triangle () in
+  let g2 = G.copy g in
+  G.push g ab 3;
+  G.set_supply g a 9;
+  checki "copy keeps flow" 0 (G.flow g2 ab);
+  checki "copy keeps supply" 2 (G.supply g2 a);
+  checkb "copy active lists valid" true (active_list_consistent g2)
+
+let test_max_arc_cost () =
+  let g, _, _, _, _, _, _ = triangle () in
+  checki "max cost" 10 (G.max_arc_cost g)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "flowgraph"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+          Alcotest.test_case "grow/set/copy" `Quick test_vec_grow_set;
+          Alcotest.test_case "iter/fold" `Quick test_vec_iter_fold;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "construction" `Quick test_graph_construction;
+          Alcotest.test_case "push updates excess" `Quick test_graph_push_excess;
+          Alcotest.test_case "remove arc credits flow" `Quick test_graph_remove_arc_credits_flow;
+          Alcotest.test_case "remove node drops incident arcs" `Quick
+            test_graph_remove_node_removes_incident;
+          Alcotest.test_case "capacity decrease pushes back overflow" `Quick
+            test_graph_set_capacity_overflow;
+          Alcotest.test_case "supply change shifts excess" `Quick test_graph_set_supply_shifts_excess;
+          Alcotest.test_case "reset flow" `Quick test_graph_reset_flow;
+          Alcotest.test_case "reduced cost" `Quick test_graph_reduced_cost;
+          Alcotest.test_case "out-list covers both directions" `Quick
+            test_graph_iter_out_covers_both_directions;
+          Alcotest.test_case "change summary" `Quick test_graph_change_summary;
+        ] );
+      ( "table3",
+        [
+          Alcotest.test_case "increase capacity" `Quick test_table3_increase_capacity;
+          Alcotest.test_case "decrease capacity" `Quick test_table3_decrease_capacity;
+          Alcotest.test_case "increase cost" `Quick test_table3_increase_cost;
+          Alcotest.test_case "decrease cost" `Quick test_table3_decrease_cost;
+          Alcotest.test_case "supply change" `Quick test_table3_supply_change;
+          Alcotest.test_case "classify live arc" `Quick test_classify_arc_live;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "feasibility" `Quick test_validate_feasibility;
+          Alcotest.test_case "negative cycle detection" `Quick test_validate_negative_cycle;
+          Alcotest.test_case "reduced-cost optimality" `Quick test_validate_reduced_cost;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_dimacs_rejects_garbage;
+          Alcotest.test_case "solution lines" `Quick test_dimacs_solution_lines;
+        ] );
+      ( "active-lists",
+        Alcotest.test_case "push cycle" `Quick test_active_list_after_push_cycle
+        :: Alcotest.test_case "fast iteration matches iter_out" `Quick
+             test_fast_iteration_matches_iter_out
+        :: Alcotest.test_case "copy independence" `Quick test_copy_is_independent
+        :: Alcotest.test_case "max arc cost" `Quick test_max_arc_cost
+        :: qcheck [ prop_active_list_matches_rescap ] );
+      ("properties", qcheck [ prop_excess_conservation; prop_flow_conservation ]);
+    ]

@@ -1,0 +1,746 @@
+(* Cross-checked tests for the MCMF solver suite: every algorithm must
+   agree with every other (and with the optimality validators) on optimal
+   cost, feasibility detection, and incremental re-optimization. *)
+
+module G = Flowgraph.Graph
+module Validate = Flowgraph.Validate
+module Dimacs = Flowgraph.Dimacs
+module S = Mcmf.Solver_intf
+
+let checki msg = Alcotest.check Alcotest.int msg
+let checkb msg = Alcotest.check Alcotest.bool msg
+
+let outcome_t =
+  Alcotest.testable
+    (fun ppf o -> S.pp_outcome ppf o)
+    (fun a b -> a = b)
+
+type algorithm = {
+  name : string;
+  run : G.t -> S.stats;
+}
+
+let algorithms =
+  [
+    { name = "cycle-canceling"; run = (fun g -> Mcmf.Cycle_canceling.solve g) };
+    { name = "ssp"; run = (fun g -> Mcmf.Ssp.solve g) };
+    {
+      name = "cost-scaling";
+      run = (fun g -> Mcmf.Cost_scaling.solve (Mcmf.Cost_scaling.create ()) g);
+    };
+    {
+      name = "cost-scaling-alpha9";
+      run = (fun g -> Mcmf.Cost_scaling.solve (Mcmf.Cost_scaling.create ~alpha:9 ()) g);
+    };
+    { name = "relaxation"; run = (fun g -> Mcmf.Relaxation.solve g) };
+    {
+      name = "relaxation-no-ap";
+      run = (fun g -> Mcmf.Relaxation.solve ~arc_prioritization:false g);
+    };
+  ]
+
+(* {1 Hand instances} *)
+
+(* Two sources, two paths of different cost, tight capacities: the optimum
+   is forced to split flow and its cost is computable by hand. *)
+let diamond () =
+  let g = G.create () in
+  let s1 = G.add_node g ~supply:3 in
+  let s2 = G.add_node g ~supply:2 in
+  let mid = G.add_node g ~supply:0 in
+  let t = G.add_node g ~supply:(-5) in
+  ignore (G.add_arc g ~src:s1 ~dst:mid ~cost:1 ~cap:2);
+  ignore (G.add_arc g ~src:s1 ~dst:t ~cost:5 ~cap:3);
+  ignore (G.add_arc g ~src:s2 ~dst:mid ~cost:2 ~cap:2);
+  ignore (G.add_arc g ~src:s2 ~dst:t ~cost:4 ~cap:2);
+  ignore (G.add_arc g ~src:mid ~dst:t ~cost:1 ~cap:3);
+  g
+
+(* Optimal: s1 sends 2 via mid (cost 1+1 each) and 1 direct (5);
+   mid's capacity to t is 3, so s2 sends 1 via mid (2+1) and 1 direct (4).
+   Total = 2*2 + 5 + 3 + 4 = 16. *)
+let diamond_optimal_cost = 16
+
+(* The paper's Figure 5 flow network: five tasks of two jobs, four
+   machines, per-job unscheduled aggregators, one sink. Unit capacities on
+   task arcs; T0 tasks pay 5 to stay unscheduled, T1 tasks pay 7. Task
+   preference costs chosen so exactly one task (T01) stays unscheduled when
+   machines have one slot each, as in the figure. *)
+let figure5 () =
+  let g = G.create () in
+  let t00 = G.add_node g ~supply:1 in
+  let t01 = G.add_node g ~supply:1 in
+  let t02 = G.add_node g ~supply:1 in
+  let t10 = G.add_node g ~supply:1 in
+  let t11 = G.add_node g ~supply:1 in
+  let m = Array.init 4 (fun _ -> G.add_node g ~supply:0) in
+  let u0 = G.add_node g ~supply:0 in
+  let u1 = G.add_node g ~supply:0 in
+  let sink = G.add_node g ~supply:(-5) in
+  let arc s d c cap = ignore (G.add_arc g ~src:s ~dst:d ~cost:c ~cap) in
+  arc t00 m.(0) 2 1;
+  arc t00 m.(1) 3 1;
+  arc t01 m.(0) 1 1;
+  arc t02 m.(1) 6 1;
+  arc t02 m.(2) 4 1;
+  arc t10 m.(2) 2 1;
+  arc t10 m.(3) 1 1;
+  arc t11 m.(3) 2 1;
+  arc t00 u0 5 1;
+  arc t01 u0 5 1;
+  arc t02 u0 5 1;
+  arc t10 u1 7 1;
+  arc t11 u1 7 1;
+  List.iter (fun mi -> arc mi sink 0 1) (Array.to_list m);
+  arc u0 sink 0 3;
+  arc u1 sink 0 2;
+  (g, (t00, t01, t02, t10, t11), m, sink)
+
+(* T00->M0 (2), T01 unscheduled (5), T02->M2... competition: T10 wants M3(1)
+   and M2(2); T11 only M3(2). Best: T00->M0=2, T02->M1=6 or M2=4;
+   T10->M2=2 or M3=1; T11->M3=2.
+   Assign T02->M2(4) forces T10->M3(1) and T11 unscheduled(7): 2+5+4+1+7=19.
+   Assign T02->M1(6), T10->M2(2), T11->M3(2), T01 unscheduled(5): 2+5+6+2+2=17.
+   Assign T01->M0(1), T00->M1(3), T02->M2(4), T10->M3(1), T11 unsched(7): 16.
+   Assign T01->M0(1), T00->M1(3), T02 unsched(5), T10->M2(2), T11->M3(2): 13. *)
+let figure5_optimal_cost = 13
+
+let test_diamond_all_algorithms () =
+  List.iter
+    (fun alg ->
+      let g = diamond () in
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " cost") diamond_optimal_cost (G.total_cost g);
+      checkb (alg.name ^ " valid") true (Validate.is_optimal g))
+    algorithms
+
+let test_figure5_all_algorithms () =
+  List.iter
+    (fun alg ->
+      let g, _, _, _ = figure5 () in
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " cost") figure5_optimal_cost (G.total_cost g);
+      checkb (alg.name ^ " valid") true (Validate.is_optimal g))
+    algorithms
+
+let test_figure5_placements () =
+  (* The min-cost solution leaves exactly one task unscheduled. *)
+  let g, (t00, t01, t02, t10, t11), m, _ = figure5 () in
+  ignore (Mcmf.Relaxation.solve g);
+  let scheduled t =
+    let placed = ref false in
+    G.iter_out g t (fun a ->
+        if G.is_forward a && G.flow g a = 1 && Array.exists (fun x -> x = G.dst g a) m then
+          placed := true);
+    !placed
+  in
+  let placements = List.map scheduled [ t00; t01; t02; t10; t11 ] in
+  checki "exactly four scheduled" 4
+    (List.length (List.filter Fun.id placements))
+
+let test_infeasible_detected () =
+  (* A source with demand unreachable within capacity. *)
+  List.iter
+    (fun alg ->
+      let g = G.create () in
+      let s = G.add_node g ~supply:5 in
+      let t = G.add_node g ~supply:(-5) in
+      ignore (G.add_arc g ~src:s ~dst:t ~cost:1 ~cap:2);
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " infeasible") S.Infeasible st.S.outcome)
+    algorithms
+
+let test_empty_graph () =
+  List.iter
+    (fun alg ->
+      let g = G.create () in
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " empty optimal") S.Optimal st.S.outcome)
+    algorithms
+
+let test_zero_supply_graph () =
+  (* No supply: the zero flow must be recognized optimal even with
+     tempting negative arcs absent; with a negative arc, flow circulates
+     only if a negative cycle exists. *)
+  List.iter
+    (fun alg ->
+      let g = G.create () in
+      let a = G.add_node g ~supply:0 in
+      let b = G.add_node g ~supply:0 in
+      ignore (G.add_arc g ~src:a ~dst:b ~cost:3 ~cap:4);
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " cost") 0 (G.total_cost g))
+    algorithms
+
+let test_negative_arc_costs () =
+  (* Negative arcs must be exploited: sending via the negative arc is
+     cheaper despite a longer path. *)
+  List.iter
+    (fun alg ->
+      let g = G.create () in
+      let s = G.add_node g ~supply:1 in
+      let v = G.add_node g ~supply:0 in
+      let t = G.add_node g ~supply:(-1) in
+      ignore (G.add_arc g ~src:s ~dst:t ~cost:1 ~cap:1);
+      ignore (G.add_arc g ~src:s ~dst:v ~cost:2 ~cap:1);
+      ignore (G.add_arc g ~src:v ~dst:t ~cost:(-4) ~cap:1);
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " cost") (-2) (G.total_cost g))
+    algorithms
+
+let test_negative_cycle_in_input () =
+  (* A zero-supply graph containing a negative cycle: optimal flow
+     saturates the cycle. Cost of cycle: 1 - 3 = -2 per unit, cap 2. *)
+  List.iter
+    (fun alg ->
+      let g = G.create () in
+      let a = G.add_node g ~supply:0 in
+      let b = G.add_node g ~supply:0 in
+      ignore (G.add_arc g ~src:a ~dst:b ~cost:1 ~cap:2);
+      ignore (G.add_arc g ~src:b ~dst:a ~cost:(-3) ~cap:2);
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " cost") (-4) (G.total_cost g);
+      checkb (alg.name ^ " optimal") true (Validate.is_optimal g))
+    algorithms
+
+(* {1 Random cross-checking} *)
+
+(* Generate a feasible instance: [k] sources, one sink, a backbone arc from
+   each source to the sink (guaranteeing feasibility) plus random arcs. *)
+let random_instance (seed : int) =
+  let rng = Random.State.make [| seed |] in
+  let g = G.create () in
+  let n = 4 + Random.State.int rng 12 in
+  let nodes = Array.init n (fun _ -> G.add_node g ~supply:0) in
+  let sink = nodes.(n - 1) in
+  let total = ref 0 in
+  for i = 0 to n - 2 do
+    if Random.State.bool rng then begin
+      let s = 1 + Random.State.int rng 5 in
+      G.set_supply g nodes.(i) s;
+      total := !total + s;
+      (* Backbone: expensive but guarantees feasibility. *)
+      ignore (G.add_arc g ~src:nodes.(i) ~dst:sink ~cost:(50 + Random.State.int rng 50) ~cap:s)
+    end
+  done;
+  G.set_supply g sink (- !total);
+  let arcs = n * 3 in
+  for _ = 1 to arcs do
+    let i = Random.State.int rng n and j = Random.State.int rng n in
+    if i <> j then
+      ignore
+        (G.add_arc g ~src:nodes.(i) ~dst:nodes.(j)
+           ~cost:(Random.State.int rng 41 - 5)
+           ~cap:(Random.State.int rng 8))
+  done;
+  g
+
+let prop_all_algorithms_agree =
+  QCheck.Test.make ~name:"all algorithms find the same optimal cost" ~count:120
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let reference = ref None in
+      List.for_all
+        (fun alg ->
+          let g = random_instance seed in
+          let st = alg.run g in
+          if st.S.outcome <> S.Optimal then false
+          else if not (Validate.is_optimal g) then false
+          else begin
+            let c = G.total_cost g in
+            match !reference with
+            | None ->
+                reference := Some c;
+                true
+            | Some c' -> c = c'
+          end)
+        algorithms)
+
+let prop_incremental_cost_scaling_matches =
+  (* Solve, mutate randomly, re-solve incrementally; the incremental result
+     must match a from-scratch solve of the mutated graph. *)
+  QCheck.Test.make ~name:"incremental cost scaling = from scratch" ~count:80
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, mseed) ->
+      let st = Mcmf.Cost_scaling.create ~alpha:4 () in
+      let g = random_instance seed in
+      let s1 = Mcmf.Cost_scaling.solve st g in
+      if s1.S.outcome <> S.Optimal then QCheck.assume_fail ()
+      else begin
+        (* Random mutations: cost and capacity changes on existing arcs. *)
+        let rng = Random.State.make [| mseed |] in
+        let arcs = ref [] in
+        G.iter_arcs g (fun a -> arcs := a :: !arcs);
+        List.iter
+          (fun a ->
+            match Random.State.int rng 4 with
+            | 0 -> G.set_cost g a (Random.State.int rng 41 - 5)
+            | 1 -> G.set_capacity g a (G.capacity g a + Random.State.int rng 4)
+            | 2 ->
+                (* Never shrink a backbone arc below its source's supply:
+                   keep the instance feasible. *)
+                if G.cost g a < 50 then
+                  G.set_capacity g a (max 0 (G.capacity g a - Random.State.int rng 3))
+            | _ -> ())
+          !arcs;
+        let g_scratch = G.copy g in
+        let s2 = Mcmf.Cost_scaling.solve ~incremental:true st g in
+        let s3 = Mcmf.Cost_scaling.solve (Mcmf.Cost_scaling.create ()) g_scratch in
+        s2.S.outcome = S.Optimal && s3.S.outcome = S.Optimal
+        && G.total_cost g = G.total_cost g_scratch
+        && Validate.is_optimal g
+      end)
+
+let prop_incremental_relaxation_matches =
+  QCheck.Test.make ~name:"incremental relaxation = from scratch" ~count:80
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, mseed) ->
+      let g = random_instance seed in
+      let s1 = Mcmf.Relaxation.solve g in
+      if s1.S.outcome <> S.Optimal then QCheck.assume_fail ()
+      else begin
+        let rng = Random.State.make [| mseed |] in
+        let arcs = ref [] in
+        G.iter_arcs g (fun a -> arcs := a :: !arcs);
+        List.iter
+          (fun a ->
+            match Random.State.int rng 4 with
+            | 0 -> G.set_cost g a (Random.State.int rng 41 - 5)
+            | 1 -> G.set_capacity g a (G.capacity g a + Random.State.int rng 4)
+            | _ -> ())
+          !arcs;
+        let g_scratch = G.copy g in
+        let s2 = Mcmf.Relaxation.solve ~incremental:true g in
+        let s3 = Mcmf.Relaxation.solve g_scratch in
+        s2.S.outcome = S.Optimal && s3.S.outcome = S.Optimal
+        && G.total_cost g = G.total_cost g_scratch
+        && Validate.is_optimal g
+      end)
+
+let prop_price_refine_restores_slackness =
+  QCheck.Test.make ~name:"price refine yields reduced-cost-optimal potentials" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = random_instance seed in
+      let st = Mcmf.Relaxation.solve g in
+      if st.S.outcome <> S.Optimal then QCheck.assume_fail ()
+      else begin
+        (* Scramble potentials, then refine. *)
+        G.iter_nodes g (fun n -> G.set_potential g n (((n * 7919) mod 23) - 11));
+        Mcmf.Price_refine.run g && Validate.is_reduced_cost_optimal g
+      end)
+
+let prop_price_refine_refuses_nonoptimal =
+  QCheck.Test.make ~name:"price refine refuses non-optimal flow" ~count:50
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = random_instance seed in
+      (* Find a negative cycle opportunity: route flow expensively by hand
+         along a backbone arc while a cheaper alternative exists. This is
+         just zero flow + an added negative cycle. *)
+      let a = G.add_node g ~supply:0 in
+      let b = G.add_node g ~supply:0 in
+      ignore (G.add_arc g ~src:a ~dst:b ~cost:1 ~cap:1);
+      ignore (G.add_arc g ~src:b ~dst:a ~cost:(-2) ~cap:1);
+      not (Mcmf.Price_refine.run g))
+
+(* {1 Golden DIMACS instance} *)
+
+let test_golden_dimacs_instance () =
+  (* A checked-in assignment-shaped instance with a known optimum (36);
+     exercises file loading plus every solver on identical input. *)
+  let path = "data/netgen_8.min" in
+  List.iter
+    (fun alg ->
+      let g, _ = Dimacs.load path in
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " golden cost") 36 (G.total_cost g);
+      checkb (alg.name ^ " valid") true (Validate.is_optimal g))
+    algorithms
+
+(* {1 Structural edge cases} *)
+
+let test_parallel_arcs () =
+  (* Two arcs between the same pair with different costs: cheap one fills
+     first. *)
+  List.iter
+    (fun alg ->
+      let g = G.create () in
+      let s = G.add_node g ~supply:3 in
+      let t = G.add_node g ~supply:(-3) in
+      let cheap = G.add_arc g ~src:s ~dst:t ~cost:1 ~cap:2 in
+      let dear = G.add_arc g ~src:s ~dst:t ~cost:5 ~cap:2 in
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " cheap saturated") 2 (G.flow g cheap);
+      checki (alg.name ^ " dear partial") 1 (G.flow g dear);
+      checki (alg.name ^ " cost") 7 (G.total_cost g))
+    algorithms
+
+let test_negative_self_loop () =
+  (* A negative-cost self loop must be saturated by the optimum (it lowers
+     cost without moving supply). *)
+  List.iter
+    (fun alg ->
+      let g = G.create () in
+      let a = G.add_node g ~supply:0 in
+      let loop = G.add_arc g ~src:a ~dst:a ~cost:(-3) ~cap:4 in
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " loop saturated") 4 (G.flow g loop);
+      checki (alg.name ^ " cost") (-12) (G.total_cost g))
+    algorithms
+
+let test_zero_capacity_arcs_ignored () =
+  List.iter
+    (fun alg ->
+      let g = G.create () in
+      let s = G.add_node g ~supply:1 in
+      let t = G.add_node g ~supply:(-1) in
+      ignore (G.add_arc g ~src:s ~dst:t ~cost:0 ~cap:0);
+      ignore (G.add_arc g ~src:s ~dst:t ~cost:7 ~cap:1);
+      let st = alg.run g in
+      Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+      checki (alg.name ^ " cost") 7 (G.total_cost g))
+    algorithms
+
+let test_optimality_maintaining_algorithms_leave_valid_duals () =
+  (* Relaxation and SSP maintain reduced-cost optimality (paper Table 2):
+     their final potentials must certify the solution. *)
+  List.iter
+    (fun (name, solve) ->
+      let g = diamond () in
+      let st : S.stats = solve g in
+      Alcotest.check outcome_t (name ^ " outcome") S.Optimal st.S.outcome;
+      checkb (name ^ " reduced-cost optimal potentials") true
+        (Validate.is_reduced_cost_optimal g))
+    [
+      ("relaxation", fun g -> Mcmf.Relaxation.solve g);
+      ("ssp", fun g -> Mcmf.Ssp.solve g);
+    ]
+
+let prop_duals_certify_relaxation =
+  QCheck.Test.make ~name:"relaxation potentials certify optimality" ~count:100
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let g = random_instance seed in
+      let st = Mcmf.Relaxation.solve g in
+      if st.S.outcome <> S.Optimal then QCheck.assume_fail ()
+      else Validate.is_reduced_cost_optimal g)
+
+let test_max_flow_routes_feasible () =
+  let g = diamond () in
+  checkb "feasible" true (Mcmf.Max_flow.route g);
+  checkb "flow feasible" true (Validate.is_feasible g);
+  (* Max-flow ignores costs: the result need not be optimal. *)
+  let g2 = G.create () in
+  let s = G.add_node g2 ~supply:5 in
+  let t = G.add_node g2 ~supply:(-5) in
+  ignore (G.add_arc g2 ~src:s ~dst:t ~cost:1 ~cap:3);
+  checkb "infeasible detected" false (Mcmf.Max_flow.route g2)
+
+(* {1 Generator-driven stress tests} *)
+
+let netgen_cost instance alg =
+  let g = instance.Flowgraph.Netgen.graph in
+  let st = alg.run g in
+  Alcotest.check outcome_t (alg.name ^ " outcome") S.Optimal st.S.outcome;
+  checkb (alg.name ^ " valid") true (Validate.is_optimal g);
+  G.total_cost g
+
+let agree_on mk =
+  match List.map (fun alg -> netgen_cost (mk ()) alg) algorithms with
+  | [] -> ()
+  | c :: rest -> List.iter (fun c' -> checki "same optimal cost" c c') rest
+
+let test_netgen_transportation_agreement () =
+  agree_on (fun () ->
+      Flowgraph.Netgen.transportation ~sources:12 ~sinks:6 ~seed:3 ())
+
+let test_netgen_grid_agreement () =
+  agree_on (fun () -> Flowgraph.Netgen.grid ~width:6 ~height:4 ~seed:4 ())
+
+let test_netgen_scheduling_agreement () =
+  agree_on (fun () -> Flowgraph.Netgen.scheduling ~tasks:40 ~machines:8 ~seed:5 ())
+
+let prop_netgen_grid_agreement =
+  QCheck.Test.make ~name:"grid instances: relaxation = cost scaling" ~count:40
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let solve mk_alg =
+        let inst = Flowgraph.Netgen.grid ~width:5 ~height:3 ~seed () in
+        let st = mk_alg inst.Flowgraph.Netgen.graph in
+        let ok =
+          st.S.outcome = S.Optimal && Validate.is_optimal inst.Flowgraph.Netgen.graph
+        in
+        (ok, G.total_cost inst.Flowgraph.Netgen.graph)
+      in
+      let ok1, c1 = solve (fun g -> Mcmf.Relaxation.solve g) in
+      let ok2, c2 =
+        solve (fun g -> Mcmf.Cost_scaling.solve (Mcmf.Cost_scaling.create ~alpha:4 ()) g)
+      in
+      ok1 && ok2 && c1 = c2)
+
+let prop_incremental_random_change_stream =
+  (* Long-horizon incremental soak: a stream of random structural changes
+     interleaved with incremental solves must stay in lockstep with
+     from-scratch solves at every step. *)
+  QCheck.Test.make ~name:"incremental lockstep under change streams" ~count:25
+    QCheck.(pair (int_bound 100_000) (list_of_size Gen.(int_range 4 12) (int_bound 1_000)))
+    (fun (seed, steps) ->
+      let inst = Flowgraph.Netgen.scheduling ~tasks:20 ~machines:5 ~seed () in
+      let g = inst.Flowgraph.Netgen.graph in
+      let st = Mcmf.Cost_scaling.create ~alpha:4 () in
+      let ok = ref ((Mcmf.Cost_scaling.solve st g).S.outcome = S.Optimal) in
+      let rng = Random.State.make [| seed + 1 |] in
+      List.iter
+        (fun _step ->
+          if !ok then begin
+            (* Random change: cost or capacity tweak on a random live arc. *)
+            let arcs = ref [] in
+            G.iter_arcs g (fun a -> arcs := a :: !arcs);
+            (match !arcs with
+            | [] -> ()
+            | l ->
+                let a = List.nth l (Random.State.int rng (List.length l)) in
+                if Random.State.bool rng then
+                  G.set_cost g a (1 + Random.State.int rng 2_000)
+                else G.set_capacity g a (Random.State.int rng 4));
+            let g_scratch = G.copy g in
+            let s_inc = Mcmf.Cost_scaling.solve ~incremental:true st g in
+            let s_scr =
+              Mcmf.Cost_scaling.solve (Mcmf.Cost_scaling.create ~alpha:4 ()) g_scratch
+            in
+            ok :=
+              s_inc.S.outcome = S.Optimal && s_scr.S.outcome = S.Optimal
+              && G.total_cost g = G.total_cost g_scratch
+              && Validate.is_optimal g
+          end)
+        steps;
+      !ok)
+
+let prop_netgen_always_feasible =
+  QCheck.Test.make ~name:"generated instances are feasible" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let feasible (i : Flowgraph.Netgen.instance) =
+        Mcmf.Max_flow.route i.Flowgraph.Netgen.graph
+      in
+      feasible (Flowgraph.Netgen.transportation ~sources:6 ~sinks:3 ~seed ())
+      && feasible (Flowgraph.Netgen.grid ~width:4 ~height:3 ~seed ())
+      && feasible (Flowgraph.Netgen.scheduling ~tasks:15 ~machines:4 ~seed ()))
+
+let test_race_prepare_noop_without_cost_scaling () =
+  (* Relaxation-only mode never needs scaled potentials: prepare must not
+     touch the graph. *)
+  let race = Mcmf.Race.create ~mode:Mcmf.Race.Relaxation_only () in
+  let g = diamond () in
+  ignore (Mcmf.Relaxation.solve g);
+  let before = List.init 4 (fun n -> G.potential g n) in
+  Mcmf.Race.prepare race g;
+  let after = List.init 4 (fun n -> G.potential g n) in
+  Alcotest.(check (list int)) "potentials untouched" before after
+
+let test_deadline_stop_fires_after_elapsed () =
+  let stop = S.deadline_stop 0.005 in
+  checkb "not immediately" false (stop ());
+  Unix.sleepf 0.01;
+  checkb "after deadline" true (stop ())
+
+let test_either_stop_combines () =
+  let fired = ref false in
+  let stop = S.either_stop (fun () -> !fired) S.never_stop in
+  checkb "neither" false (stop ());
+  fired := true;
+  checkb "first fires" true (stop ())
+
+let test_cost_scaling_rejects_bad_alpha () =
+  Alcotest.check_raises "alpha < 2" (Invalid_argument "Cost_scaling.create: alpha < 2")
+    (fun () -> ignore (Mcmf.Cost_scaling.create ~alpha:1 ()))
+
+(* {1 Race orchestration} *)
+
+let test_race_sequential () =
+  let race = Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential () in
+  let g = diamond () in
+  Mcmf.Race.prepare race g;
+  let r = Mcmf.Race.solve race g in
+  checki "cost" diamond_optimal_cost (G.total_cost r.Mcmf.Race.graph);
+  checkb "both stats present" true
+    (r.Mcmf.Race.relaxation_stats <> None && r.Mcmf.Race.cost_scaling_stats <> None)
+
+let test_race_parallel () =
+  let race = Mcmf.Race.create ~mode:Mcmf.Race.Race_parallel () in
+  let g = diamond () in
+  let r = Mcmf.Race.solve race g in
+  checki "cost" diamond_optimal_cost (G.total_cost r.Mcmf.Race.graph);
+  Alcotest.check outcome_t "winner optimal" S.Optimal r.Mcmf.Race.stats.S.outcome
+
+let test_race_modes_agree () =
+  let costs =
+    List.map
+      (fun mode ->
+        let race = Mcmf.Race.create ~mode () in
+        let g = random_instance 42 in
+        let r = Mcmf.Race.solve race g in
+        G.total_cost r.Mcmf.Race.graph)
+      Mcmf.Race.
+        [
+          Race_parallel; Fastest_sequential; Relaxation_only; Incremental_cost_scaling_only;
+          Cost_scaling_scratch_only;
+        ]
+  in
+  match costs with
+  | c :: rest -> List.iter (fun c' -> checki "same cost" c c') rest
+  | [] -> ()
+
+let test_race_incremental_sequence () =
+  (* Drive several change->prepare->solve cycles through the orchestrator,
+     checking optimality at each step (the scheduler's usage pattern). *)
+  let race = Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential () in
+  let g = ref (diamond ()) in
+  let r = Mcmf.Race.solve race !g in
+  g := r.Mcmf.Race.graph;
+  for i = 1 to 5 do
+    Mcmf.Race.prepare race !g;
+    (* Add one more source each round. *)
+    let s = G.add_node !g ~supply:1 in
+    let sink = ref (-1) in
+    G.iter_nodes !g (fun n -> if G.supply !g n < 0 then sink := n);
+    G.set_supply !g !sink (G.supply !g !sink - 1);
+    ignore (G.add_arc !g ~src:s ~dst:!sink ~cost:(3 + i) ~cap:1);
+    let r = Mcmf.Race.solve race !g in
+    g := r.Mcmf.Race.graph;
+    checkb "optimal each round" true (Validate.is_optimal !g)
+  done
+
+(* {1 Early termination (deadline) behaviour} *)
+
+let test_deadline_stops () =
+  (* A large random instance with an immediate deadline must stop quickly
+     and report Stopped, leaving a usable intermediate state. *)
+  let g = random_instance 7 in
+  let st = Mcmf.Cost_scaling.solve ~stop:(fun () -> true) (Mcmf.Cost_scaling.create ()) g in
+  Alcotest.check outcome_t "stopped" S.Stopped st.S.outcome
+
+let test_stop_callback_polled () =
+  let calls = ref 0 in
+  let stop () =
+    incr calls;
+    false
+  in
+  let g = diamond () in
+  ignore (Mcmf.Relaxation.solve ~stop g);
+  checkb "not required to poll on tiny instances" true (!calls >= 0)
+
+(* {1 Heap} *)
+
+let test_heap_ordering () =
+  let h = Mcmf.Heap.create ~capacity:8 in
+  List.iter (fun (e, p) -> Mcmf.Heap.insert h e p) [ (0, 5); (1, 3); (2, 9); (3, 1) ];
+  checki "size" 4 (Mcmf.Heap.size h);
+  let order = List.init 4 (fun _ -> fst (Mcmf.Heap.pop_min h)) in
+  Alcotest.check Alcotest.(list int) "pop order" [ 3; 1; 0; 2 ] order
+
+let test_heap_decrease_key () =
+  let h = Mcmf.Heap.create ~capacity:4 in
+  Mcmf.Heap.insert h 0 10;
+  Mcmf.Heap.insert h 1 5;
+  Mcmf.Heap.insert h 0 1;
+  (* decrease *)
+  let e, p = Mcmf.Heap.pop_min h in
+  checki "element" 0 e;
+  checki "priority" 1 p;
+  Mcmf.Heap.insert h 1 99;
+  (* increase ignored *)
+  let _, p = Mcmf.Heap.pop_min h in
+  checki "kept lower priority" 5 p
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap pops in nondecreasing priority order" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 50) (int_bound 1000))
+    (fun prios ->
+      let h = Mcmf.Heap.create ~capacity:64 in
+      List.iteri (fun i p -> Mcmf.Heap.insert h i p) prios;
+      let rec drain last =
+        if Mcmf.Heap.is_empty h then true
+        else begin
+          let _, p = Mcmf.Heap.pop_min h in
+          p >= last && drain p
+        end
+      in
+      drain min_int)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "mcmf"
+    [
+      ( "hand-instances",
+        [
+          Alcotest.test_case "diamond, all algorithms" `Quick test_diamond_all_algorithms;
+          Alcotest.test_case "paper figure 5, all algorithms" `Quick test_figure5_all_algorithms;
+          Alcotest.test_case "figure 5 placements" `Quick test_figure5_placements;
+          Alcotest.test_case "infeasibility detected" `Quick test_infeasible_detected;
+          Alcotest.test_case "empty graph" `Quick test_empty_graph;
+          Alcotest.test_case "zero-supply graph" `Quick test_zero_supply_graph;
+          Alcotest.test_case "negative arc costs" `Quick test_negative_arc_costs;
+          Alcotest.test_case "negative cycle in input" `Quick test_negative_cycle_in_input;
+        ] );
+      ( "cross-check",
+        qcheck
+          [
+            prop_all_algorithms_agree;
+            prop_incremental_cost_scaling_matches;
+            prop_incremental_relaxation_matches;
+            prop_price_refine_restores_slackness;
+            prop_price_refine_refuses_nonoptimal;
+          ] );
+      ( "golden",
+        [ Alcotest.test_case "netgen-8 instance" `Quick test_golden_dimacs_instance ] );
+      ( "edge-cases",
+        Alcotest.test_case "parallel arcs" `Quick test_parallel_arcs
+        :: Alcotest.test_case "negative self loop" `Quick test_negative_self_loop
+        :: Alcotest.test_case "zero-capacity arcs" `Quick test_zero_capacity_arcs_ignored
+        :: Alcotest.test_case "dual certificates" `Quick
+             test_optimality_maintaining_algorithms_leave_valid_duals
+        :: Alcotest.test_case "max-flow feasibility oracle" `Quick test_max_flow_routes_feasible
+        :: qcheck [ prop_duals_certify_relaxation ] );
+      ( "netgen",
+        Alcotest.test_case "transportation agreement" `Quick test_netgen_transportation_agreement
+        :: Alcotest.test_case "grid agreement" `Quick test_netgen_grid_agreement
+        :: Alcotest.test_case "scheduling agreement" `Quick test_netgen_scheduling_agreement
+        :: qcheck
+             [
+               prop_netgen_grid_agreement;
+               prop_incremental_random_change_stream;
+               prop_netgen_always_feasible;
+             ] );
+      ( "race",
+        [
+          Alcotest.test_case "sequential race" `Quick test_race_sequential;
+          Alcotest.test_case "parallel race" `Quick test_race_parallel;
+          Alcotest.test_case "all modes agree" `Quick test_race_modes_agree;
+          Alcotest.test_case "incremental sequence" `Quick test_race_incremental_sequence;
+          Alcotest.test_case "prepare no-op without cost scaling" `Quick
+            test_race_prepare_noop_without_cost_scaling;
+        ] );
+      ( "termination",
+        [
+          Alcotest.test_case "deadline stops" `Quick test_deadline_stops;
+          Alcotest.test_case "stop callback" `Quick test_stop_callback_polled;
+          Alcotest.test_case "deadline_stop timing" `Quick test_deadline_stop_fires_after_elapsed;
+          Alcotest.test_case "either_stop combines" `Quick test_either_stop_combines;
+          Alcotest.test_case "alpha validation" `Quick test_cost_scaling_rejects_bad_alpha;
+        ] );
+      ( "heap",
+        Alcotest.test_case "ordering" `Quick test_heap_ordering
+        :: Alcotest.test_case "decrease key" `Quick test_heap_decrease_key
+        :: qcheck [ prop_heap_sorts ] );
+    ]
