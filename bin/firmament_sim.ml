@@ -22,7 +22,7 @@ let mode_conv =
         ("quincy-cs", Cost_scaling_scratch_only);
       ]
 
-let run machines util horizon speedup seed policy mode max_rounds =
+let run machines util horizon speedup seed policy mode max_rounds deadline =
   let trace =
     Cluster.Trace.generate
       {
@@ -42,7 +42,7 @@ let run machines util horizon speedup seed policy mode max_rounds =
   let config =
     {
       Dcsim.Replay.default_config with
-      scheduler = { Firmament.Scheduler.default_config with mode };
+      scheduler = { Firmament.Scheduler.default_config with mode; deadline };
       policy = policy_factory;
       max_rounds = Some max_rounds;
     }
@@ -52,6 +52,8 @@ let run machines util horizon speedup seed policy mode max_rounds =
   let m = Dcsim.Replay.run config trace in
   let open Dcsim.Replay in
   Printf.printf "rounds                 %d\n" m.rounds;
+  Printf.printf "degraded rounds        %d (partial %d, infeasible-retry %d, failed %d)\n"
+    m.degraded_rounds m.partial_rounds m.infeasible_retries m.failed_rounds;
   Printf.printf "tasks placed           %d\n" m.tasks_placed;
   Printf.printf "preemptions            %d\n" m.preemptions;
   Printf.printf "migrations             %d\n" m.migrations;
@@ -106,10 +108,20 @@ let cmd =
   let max_rounds =
     Arg.(value & opt int 500 & info [ "max-rounds" ] ~docv:"N" ~doc:"Scheduling-round budget.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-round wall-clock deadline. A round that exceeds it degrades to \
+             best-effort partial placement instead of running long.")
+  in
   let doc = "replay a synthetic cluster trace against the Firmament scheduler" in
   Cmd.v
     (Cmd.info "firmament_sim" ~doc)
     Term.(
-      const run $ machines $ util $ horizon $ speedup $ seed $ policy $ mode $ max_rounds)
+      const run $ machines $ util $ horizon $ speedup $ seed $ policy $ mode $ max_rounds
+      $ deadline)
 
 let () = exit (Cmd.eval cmd)

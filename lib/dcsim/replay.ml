@@ -25,6 +25,10 @@ type metrics = {
   algorithm_runtimes : float list;
   runtime_timeline : (float * float) list;
   rounds : int;
+  degraded_rounds : int;
+  partial_rounds : int;
+  infeasible_retries : int;
+  failed_rounds : int;
   sim_end : float;
   tasks_placed : int;
   preemptions : int;
@@ -59,6 +63,9 @@ let run_with ?(config = default_config) ~trace ~on_round () =
   let algorithm_runtimes = ref [] in
   let timeline = ref [] in
   let rounds = ref 0 in
+  let partial_rounds = ref 0 in
+  let infeasible_retries = ref 0 in
+  let failed_rounds = ref 0 in
   let tasks_placed = ref 0 in
   let preemptions = ref 0 in
   let migrations = ref 0 in
@@ -132,6 +139,11 @@ let run_with ?(config = default_config) ~trace ~on_round () =
     if !needs_round || Cluster.State.waiting_count cluster > 0 then begin
       let round = Firmament.Scheduler.schedule sched ~now:!sim in
       incr rounds;
+      (match round.Firmament.Scheduler.degraded with
+      | `None -> ()
+      | `Partial -> incr partial_rounds
+      | `Infeasible_retry -> incr infeasible_retries
+      | `Failed -> incr failed_rounds);
       let runtime =
         match config.solver_time with
         | `Measured -> round.Firmament.Scheduler.algorithm_runtime
@@ -205,6 +217,10 @@ let run_with ?(config = default_config) ~trace ~on_round () =
     algorithm_runtimes = List.rev !algorithm_runtimes;
     runtime_timeline = List.rev !timeline;
     rounds = !rounds;
+    degraded_rounds = !partial_rounds + !infeasible_retries + !failed_rounds;
+    partial_rounds = !partial_rounds;
+    infeasible_retries = !infeasible_retries;
+    failed_rounds = !failed_rounds;
     sim_end = !sim;
     tasks_placed = !tasks_placed;
     preemptions = !preemptions;

@@ -30,6 +30,12 @@ type metrics = {
   algorithm_runtimes : float list;  (** per scheduling round *)
   runtime_timeline : (float * float) list;  (** (sim time, algorithm runtime) *)
   rounds : int;
+  degraded_rounds : int;
+      (** rounds that did not reach [`None] on the degradation ladder
+          (= partial + retried + failed) *)
+  partial_rounds : int;  (** deadline-stopped rounds ([`Partial]) *)
+  infeasible_retries : int;  (** rounds saved by the scratch retry *)
+  failed_rounds : int;  (** rounds infeasible even after the retry *)
   sim_end : float;
   tasks_placed : int;
   preemptions : int;

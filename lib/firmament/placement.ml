@@ -102,33 +102,48 @@ let extract net =
 let extract_partial net =
   let g = FN.graph net in
   let sink = FN.sink net in
-  (* Walk one unit of flow from [n] toward the sink, consuming it from a
-     scratch per-arc budget so two tasks never claim the same unit. *)
+  (* Walk one unit of flow from [n] toward a machine, consuming it from a
+     scratch per-arc budget so two tasks never claim the same unit. The
+     walk backtracks: a branch that dead-ends (hop limit, exhausted
+     budget, unscheduled aggregator) refunds every unit it consumed and
+     the parent tries its next arc — an aborted probe must not leak flow
+     that tasks sharing a path prefix could still claim. *)
   let budget : (G.arc, int) Hashtbl.t = Hashtbl.create 256 in
   let remaining a =
     match Hashtbl.find_opt budget a with Some r -> r | None -> G.flow g a
   in
   let consume a = Hashtbl.replace budget a (remaining a - 1) in
+  let refund a = Hashtbl.replace budget a (remaining a + 1) in
   let rec walk n hops =
     if hops > 64 then None
     else if n = sink then None
     else
       match FN.kind net n with
-      | FN.Machine_node m -> Some m
+      | FN.Machine_node m -> (
+          (* Claim a unit of the machine's sink arc: a mid-solve
+             pseudoflow may park excess at a machine node, and without
+             this check more tasks could land here than the machine's
+             slot capacity admits. *)
+          match FN.find_arc net n sink with
+          | Some a when remaining a > 0 ->
+              consume a;
+              Some m
+          | Some _ | None -> None)
       | FN.Unscheduled_agg _ -> None
       | FN.Task_node _ | FN.Rack_node _ | FN.Cluster_agg | FN.Request_agg _ | FN.Sink ->
-          let carrier = ref (-1) in
+          let result = ref None in
           let it = ref (G.first_out g n) in
-          while !carrier < 0 && !it >= 0 do
+          while !result = None && !it >= 0 do
             let a = !it in
-            if G.is_forward a && remaining a > 0 then carrier := a;
+            if G.is_forward a && remaining a > 0 then begin
+              consume a;
+              match walk (G.dst g a) (hops + 1) with
+              | Some _ as r -> result := r
+              | None -> refund a
+            end;
             it := G.next_out g a
           done;
-          if !carrier < 0 then None
-          else begin
-            consume !carrier;
-            walk (G.dst g !carrier) (hops + 1)
-          end
+          !result
   in
   let out = ref [] in
   FN.iter_task_nodes net (fun tid node ->

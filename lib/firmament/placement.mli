@@ -30,9 +30,14 @@ val extract_map :
 
 (** [extract_partial net] reads placements out of a possibly {e infeasible
     or non-optimal} intermediate flow (an early-terminated solver run,
-    paper §5.1/Fig. 10): each task's unit of flow is walked greedily
-    toward the sink; tasks whose flow is unrouted or parks at an
-    unscheduled aggregator report [None]. Unlike {!extract} this never
-    fails, but concurrent units through an aggregator may be attributed to
-    either upstream task. *)
+    paper §5.1/Fig. 10): each task's unit of flow is walked toward the
+    sink with backtracking over a per-arc flow budget (an aborted branch
+    refunds what it consumed, so a dead-end probe never leaks flow away
+    from tasks sharing a path prefix); reaching a machine additionally
+    claims a unit of its sink arc, so no machine is ever attributed more
+    tasks than its flow toward the sink — placements are capacity-valid
+    even on a pseudoflow with excess parked mid-graph. Tasks whose flow is
+    unrouted or parks at an unscheduled aggregator report [None]. Unlike
+    {!extract} this never fails, but concurrent units through an
+    aggregator may be attributed to either upstream task. *)
 val extract_partial : Flow_network.t -> assignment list

@@ -9,6 +9,7 @@ type config = {
   alpha : int;
   price_refine : bool;
   drain_on_removal : bool;
+  deadline : float option;
 }
 
 let default_config =
@@ -17,7 +18,18 @@ let default_config =
     alpha = 9;
     price_refine = true;
     drain_on_removal = true;
+    deadline = None;
   }
+
+type degraded = [ `None | `Partial | `Infeasible_retry | `Failed ]
+
+let pp_degraded ppf d =
+  Format.pp_print_string ppf
+    (match d with
+    | `None -> "none"
+    | `Partial -> "partial"
+    | `Infeasible_retry -> "infeasible-retry"
+    | `Failed -> "failed")
 
 type round = {
   winner : Mcmf.Race.winner;
@@ -25,6 +37,7 @@ type round = {
   relaxation_stats : Mcmf.Solver_intf.stats option;
   cost_scaling_stats : Mcmf.Solver_intf.stats option;
   algorithm_runtime : float;
+  degraded : degraded;
   started : (Cluster.Types.task_id * Cluster.Types.machine_id) list;
   migrated :
     (Cluster.Types.task_id * Cluster.Types.machine_id * Cluster.Types.machine_id) list;
@@ -81,17 +94,66 @@ let restore_machine t m =
   Cluster.State.restore_machine t.cluster m;
   t.policy.Policy.machine_restored m
 
+(* Commit the feasible fraction of a deadline-stopped round: start waiting
+   tasks whose unit of flow reached a machine in the intermediate
+   pseudoflow. Running tasks are left alone — a half-solved flow is no
+   grounds for migrations or preemptions — and every start is re-checked
+   against the authoritative cluster state (machine live, slot free), so
+   only capacity-valid placements commit. *)
+let commit_partial t ~now partial_graph =
+  let keep = FN.graph t.net in
+  FN.set_graph t.net partial_graph;
+  let placements = Placement.extract_partial t.net in
+  FN.set_graph t.net keep;
+  let starts = ref [] in
+  List.iter
+    (fun { Placement.task; machine } ->
+      match machine with
+      | Some m
+        when (not (Hashtbl.mem t.assigned task))
+             && Cluster.Workload.is_waiting (Cluster.State.task t.cluster task)
+             && Cluster.State.free_slots_on t.cluster m > 0 ->
+          Cluster.State.place t.cluster task m ~now;
+          Hashtbl.replace t.assigned task m;
+          t.policy.Policy.task_started (Cluster.State.task t.cluster task) m;
+          starts := (task, m) :: !starts
+      | _ -> ())
+    placements;
+  List.rev !starts
+
 let schedule ?stop t ~now =
   t.policy.Policy.refresh ~now;
-  let result = Mcmf.Race.solve ?stop t.race (FN.graph t.net) in
-  FN.set_graph t.net result.Mcmf.Race.graph;
+  (* The round deadline covers the whole round, retry included: the stop
+     predicate is armed here and shared by every solve below. *)
+  let stop =
+    let base = Option.value stop ~default:Mcmf.Solver_intf.never_stop in
+    match t.config.deadline with
+    | None -> base
+    | Some d -> Mcmf.Solver_intf.either_stop base (Mcmf.Solver_intf.deadline_stop d)
+  in
+  let first = Mcmf.Race.solve ~stop t.race (FN.graph t.net) in
+  let result, retried =
+    match first.Mcmf.Race.stats.Mcmf.Solver_intf.outcome with
+    | Mcmf.Solver_intf.Infeasible ->
+        (* A warm start facing heavy churn can report a transient
+           infeasibility; one fresh attempt (reset flow, scratch ε)
+           separates that from a genuinely unroutable network. *)
+        Log.warn (fun m -> m "round@%.3f infeasible; retrying from scratch" now);
+        (Mcmf.Race.solve ~stop ~scratch:true t.race (FN.graph t.net), true)
+    | Mcmf.Solver_intf.Optimal | Mcmf.Solver_intf.Stopped -> (first, false)
+  in
+  let algorithm_runtime =
+    result.Mcmf.Race.stats.Mcmf.Solver_intf.runtime
+    +. (if retried then first.Mcmf.Race.stats.Mcmf.Solver_intf.runtime else 0.)
+  in
   let base =
     {
       winner = result.Mcmf.Race.winner;
       solver_stats = result.Mcmf.Race.stats;
       relaxation_stats = result.Mcmf.Race.relaxation_stats;
       cost_scaling_stats = result.Mcmf.Race.cost_scaling_stats;
-      algorithm_runtime = result.Mcmf.Race.stats.Mcmf.Solver_intf.runtime;
+      algorithm_runtime;
+      degraded = `None;
       started = [];
       migrated = [];
       preempted = [];
@@ -99,9 +161,35 @@ let schedule ?stop t ~now =
     }
   in
   match result.Mcmf.Race.stats.Mcmf.Solver_intf.outcome with
-  | Mcmf.Solver_intf.Stopped | Mcmf.Solver_intf.Infeasible ->
-      { base with unscheduled = Cluster.State.waiting_count t.cluster }
+  | Mcmf.Solver_intf.Infeasible ->
+      (* Both attempts infeasible: report a failed round, keep the
+         pre-round graph (Race returned it untouched) so the next round
+         starts from coherent state. *)
+      Log.warn (fun m ->
+          m "round@%.3f failed: infeasible after scratch retry; %d tasks left waiting" now
+            (Cluster.State.waiting_count t.cluster));
+      { base with degraded = `Failed; unscheduled = Cluster.State.waiting_count t.cluster }
+  | Mcmf.Solver_intf.Stopped ->
+      (* Deadline hit: the canonical graph stays at the pre-round warm
+         start; the stopped solver's pseudoflow is only read for
+         best-effort placements. *)
+      let started =
+        match result.Mcmf.Race.partial with
+        | Some pg -> commit_partial t ~now pg
+        | None -> []
+      in
+      Log.debug (fun m ->
+          m "round@%.3f degraded to partial: %d best-effort starts, %d waiting" now
+            (List.length started)
+            (Cluster.State.waiting_count t.cluster));
+      {
+        base with
+        degraded = `Partial;
+        started;
+        unscheduled = Cluster.State.waiting_count t.cluster;
+      }
   | Mcmf.Solver_intf.Optimal ->
+      FN.set_graph t.net result.Mcmf.Race.graph;
       let placements = Placement.extract t.net in
       (* Price refine runs on the untouched optimal solution, before the
          placement diff mutates the graph (paper §6.2). *)
@@ -148,6 +236,7 @@ let schedule ?stop t ~now =
             (List.length !preempts) !unscheduled);
       {
         base with
+        degraded = (if retried then `Infeasible_retry else `None);
         started = List.rev !starts;
         migrated = List.rev !migrations;
         preempted = List.rev !preempts;

@@ -7,6 +7,30 @@
     winning solution, extract placements, and apply the diff against the
     current assignment (task starts, migrations, preemptions).
 
+    Rounds degrade instead of crashing. Every round lands on one rung of
+    the degradation ladder ({!type:degraded}):
+    {ul
+    {- [`None] — the solver reached optimality; the full placement diff
+       was applied.}
+    {- [`Partial] — the round deadline (or caller stop) fired mid-solve.
+       The canonical flow network keeps the pre-round warm start; the
+       stopped solver's intermediate pseudoflow is read once with
+       {!Placement.extract_partial} to start whatever waiting tasks it
+       feasibly routed (capacity re-checked against the cluster state);
+       running tasks are never migrated or preempted on partial
+       information.}
+    {- [`Infeasible_retry] — the warm-started solve reported
+       infeasibility, a single from-scratch retry succeeded; the round
+       otherwise behaves like [`None].}
+    {- [`Failed] — the scratch retry was infeasible too (a genuinely
+       unroutable network, e.g. zero-capacity sink arcs). No state
+       changes; the pre-round graph is preserved so the next round (after
+       the network is repaired) recovers from a coherent warm start.}}
+
+    Invariant: the flow network owned by this scheduler is never left
+    mid-solve between rounds — {!Mcmf.Race.solve} works on copies, and a
+    degraded round keeps the pre-round graph.
+
     Configured with [mode = Cost_scaling_scratch_only] and the Quincy
     policy, this {e is} the paper's Quincy baseline (§7.1). *)
 
@@ -15,9 +39,21 @@ type config = {
   alpha : int;  (** cost scaling's ε-division factor (paper tunes 9) *)
   price_refine : bool;  (** §6.2 switching optimization *)
   drain_on_removal : bool;  (** §5.3.2 efficient task removal *)
+  deadline : float option;
+      (** per-round wall-clock budget in seconds. Covers the whole round
+          including the infeasibility retry; when it fires, the round
+          degrades to [`Partial] instead of running long. [None] (the
+          default) never stops a solve. *)
 }
 
 val default_config : config
+
+(** How far a round degraded (the ladder
+    [`None → `Partial → `Infeasible_retry → `Failed]; see the module
+    docs). *)
+type degraded = [ `None | `Partial | `Infeasible_retry | `Failed ]
+
+val pp_degraded : Format.formatter -> degraded -> unit
 
 (** What one scheduling round did. *)
 type round = {
@@ -25,7 +61,10 @@ type round = {
   solver_stats : Mcmf.Solver_intf.stats;
   relaxation_stats : Mcmf.Solver_intf.stats option;
   cost_scaling_stats : Mcmf.Solver_intf.stats option;
-  algorithm_runtime : float;  (** the winner's wall-clock solve time *)
+  algorithm_runtime : float;
+      (** wall-clock solve time of the round: the winner's runtime, plus
+          the failed first attempt's on an [`Infeasible_retry] round *)
+  degraded : degraded;
   started : (Cluster.Types.task_id * Cluster.Types.machine_id) list;
   migrated :
     (Cluster.Types.task_id * Cluster.Types.machine_id * Cluster.Types.machine_id) list;
@@ -62,8 +101,10 @@ val restore_machine : t -> Cluster.Types.machine_id -> unit
 
 (** {1 Scheduling} *)
 
-(** [schedule ?stop t ~now] runs one round. With a [stop] that fires
-    mid-solve the round applies no changes and reports the partial stats. *)
+(** [schedule ?stop t ~now] runs one round. Never raises on an infeasible
+    or deadline-stopped solve: the round reports how it degraded in
+    [round.degraded] (see the ladder above). [stop] is combined with the
+    configured round deadline, if any. *)
 val schedule : ?stop:Mcmf.Solver_intf.stop -> t -> now:float -> round
 
 (** Current task → machine assignment (running tasks only). *)

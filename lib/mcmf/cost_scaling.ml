@@ -10,7 +10,17 @@ let alpha st = st.alpha
 
 let ensure_scale st g =
   let needed = G.node_count g + 2 in
-  if st.scale < needed then st.scale <- needed;
+  if st.scale < needed then st.scale <- needed
+  else if st.scale > 2 * needed then begin
+    (* The cluster shrank well below the stored scale: a stale large S
+       inflates the scratch ladder's starting ε (C·S) and every reduced
+       cost, wasting refine passes. Rescale the warm potentials into the
+       new units so their reduced-cost signs survive (up to ±1 rounding
+       per endpoint), then adopt the tight scale. *)
+    let old = st.scale in
+    G.iter_nodes g (fun n -> G.set_potential g n (G.potential g n * needed / old));
+    st.scale <- needed
+  end;
   st.scale
 
 (* All reduced costs below are in scaled units: rc(a) = cost(a)*S - p(u) + p(v),

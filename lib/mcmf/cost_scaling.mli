@@ -23,9 +23,12 @@ val create : ?alpha:int -> unit -> state
 
 val alpha : state -> int
 
-(** [ensure_scale state g] grows (never shrinks) the cost scale factor to
-    exceed [g]'s live node count and returns it. {!Price_refine} needs it
-    to write potentials in the solver's scaled units. *)
+(** [ensure_scale state g] adjusts the cost scale factor to track [g]'s
+    live node count and returns it: it grows whenever the node count
+    exceeds it, and shrinks back down when the cluster has contracted to
+    less than half the stored value (rescaling [g]'s potentials into the
+    new units so the warm start stays consistent). {!Price_refine} needs
+    it to write potentials in the solver's scaled units. *)
 val ensure_scale : state -> Flowgraph.Graph.t -> int
 
 (** [solve ?stop ?incremental state g] optimizes [g] in place. With

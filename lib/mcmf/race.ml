@@ -22,6 +22,7 @@ type winner = Relaxation | Cost_scaling
 
 type result = {
   graph : Flowgraph.Graph.t;
+  partial : Flowgraph.Graph.t option;
   winner : winner;
   stats : Solver_intf.stats;
   relaxation_stats : Solver_intf.stats option;
@@ -41,41 +42,61 @@ let prepare t g =
     ignore (Price_refine.run ~scale g)
   end
 
-let relax_result g stats =
-  { graph = g; winner = Relaxation; stats; relaxation_stats = Some stats; cost_scaling_stats = None }
+(* Assemble a result so that [graph] is always coherent: the winner's copy
+   when it solved to optimality, otherwise the untouched input graph (the
+   caller's warm start survives a bad round). A [Stopped] winner's
+   intermediate pseudoflow is surfaced separately as [partial]. *)
+let finish ~input ~solved ~winner ~relaxation_stats ~cost_scaling_stats stats =
+  match stats.Solver_intf.outcome with
+  | Solver_intf.Optimal ->
+      { graph = solved; partial = None; winner; stats; relaxation_stats; cost_scaling_stats }
+  | Solver_intf.Stopped ->
+      { graph = input; partial = Some solved; winner; stats; relaxation_stats;
+        cost_scaling_stats }
+  | Solver_intf.Infeasible ->
+      { graph = input; partial = None; winner; stats; relaxation_stats; cost_scaling_stats }
 
-let cs_result g stats =
-  { graph = g; winner = Cost_scaling; stats; relaxation_stats = None; cost_scaling_stats = Some stats }
-
-let check_outcome r =
-  (match r.stats.Solver_intf.outcome with
-  | Solver_intf.Infeasible -> failwith "Race.solve: problem infeasible"
-  | Solver_intf.Optimal | Solver_intf.Stopped -> ());
-  r
-
-let solve_sequential ?stop t g =
-  let g_cs = G.copy g in
-  let rx = Relaxation.solve ?stop g in
-  let cs = Cost_scaling.solve ?stop ~incremental:true t.cs_state g_cs in
+(* Pick between the two racers. Optimal beats everything (faster of two
+   optima); an infeasibility proof is sound for the whole instance, so it
+   beats a mere [Stopped]; two equal outcomes go to the faster solver. *)
+let pick_cost_scaling rx cs =
   let open Solver_intf in
-  let pick_cs =
-    match (rx.outcome, cs.outcome) with
-    | Optimal, Optimal -> cs.runtime < rx.runtime
-    | _, Optimal -> true
-    | Optimal, _ -> false
-    | _, _ -> cs.runtime < rx.runtime
-  in
-  if pick_cs then
-    { graph = g_cs; winner = Cost_scaling; stats = cs;
-      relaxation_stats = Some rx; cost_scaling_stats = Some cs }
+  match (rx.outcome, cs.outcome) with
+  | Optimal, Optimal -> cs.runtime < rx.runtime
+  | _, Optimal -> true
+  | Optimal, _ -> false
+  | Stopped, Infeasible -> true
+  | Infeasible, Stopped -> false
+  | _, _ -> cs.runtime < rx.runtime
+
+let two_solver_result ~input ~g_rx ~g_cs rx cs =
+  if pick_cost_scaling rx cs then
+    finish ~input ~solved:g_cs ~winner:Cost_scaling ~relaxation_stats:(Some rx)
+      ~cost_scaling_stats:(Some cs) cs
   else
-    { graph = g; winner = Relaxation; stats = rx;
-      relaxation_stats = Some rx; cost_scaling_stats = Some cs }
+    finish ~input ~solved:g_rx ~winner:Relaxation ~relaxation_stats:(Some rx)
+      ~cost_scaling_stats:(Some cs) rx
+
+let solve_sequential ?stop ~scratch t g =
+  let g_rx = G.copy g in
+  let g_cs = G.copy g in
+  if scratch then begin
+    G.reset_flow g_rx;
+    G.reset_flow g_cs
+  end;
+  let rx = Relaxation.solve ?stop g_rx in
+  let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state g_cs in
+  two_solver_result ~input:g ~g_rx ~g_cs rx cs
 
 (* Parallel race: both algorithms run in their own domain on their own
-   graph; the first Optimal finisher flips the shared cancel flag. *)
-let solve_parallel ?(stop = Solver_intf.never_stop) t g =
+   copy; the first Optimal finisher flips the shared cancel flag. *)
+let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
+  let g_rx = G.copy g in
   let g_cs = G.copy g in
+  if scratch then begin
+    G.reset_flow g_rx;
+    G.reset_flow g_cs
+  end;
   let cancel = Atomic.make false in
   let stop' = Solver_intf.either_stop stop (Solver_intf.flag_stop cancel) in
   let announce stats =
@@ -84,35 +105,34 @@ let solve_parallel ?(stop = Solver_intf.never_stop) t g =
     | Solver_intf.Infeasible | Solver_intf.Stopped -> ());
     stats
   in
-  let d_rx = Domain.spawn (fun () -> announce (Relaxation.solve ~stop:stop' g)) in
+  let d_rx = Domain.spawn (fun () -> announce (Relaxation.solve ~stop:stop' g_rx)) in
   let d_cs =
     Domain.spawn (fun () ->
-        announce (Cost_scaling.solve ~stop:stop' ~incremental:true t.cs_state g_cs))
+        announce
+          (Cost_scaling.solve ~stop:stop' ~incremental:(not scratch) t.cs_state g_cs))
   in
   let rx = Domain.join d_rx in
   let cs = Domain.join d_cs in
-  let open Solver_intf in
-  let pick_cs =
-    match (rx.outcome, cs.outcome) with
-    | Optimal, Optimal -> cs.runtime < rx.runtime
-    | _, Optimal -> true
-    | Optimal, _ -> false
-    | _, _ -> cs.runtime < rx.runtime
-  in
-  if pick_cs then
-    { graph = g_cs; winner = Cost_scaling; stats = cs;
-      relaxation_stats = Some rx; cost_scaling_stats = Some cs }
-  else
-    { graph = g; winner = Relaxation; stats = rx;
-      relaxation_stats = Some rx; cost_scaling_stats = Some cs }
+  two_solver_result ~input:g ~g_rx ~g_cs rx cs
 
-let solve ?stop t g =
-  check_outcome
-    (match t.mode with
-    | Relaxation_only -> relax_result g (Relaxation.solve ?stop g)
-    | Incremental_cost_scaling_only ->
-        cs_result g (Cost_scaling.solve ?stop ~incremental:true t.cs_state g)
-    | Cost_scaling_scratch_only ->
-        cs_result g (Cost_scaling.solve ?stop ~incremental:false t.cs_state g)
-    | Fastest_sequential -> solve_sequential ?stop t g
-    | Race_parallel -> solve_parallel ?stop t g)
+let solve ?stop ?(scratch = false) t g =
+  match t.mode with
+  | Relaxation_only ->
+      let c = G.copy g in
+      if scratch then G.reset_flow c;
+      let rx = Relaxation.solve ?stop c in
+      finish ~input:g ~solved:c ~winner:Relaxation ~relaxation_stats:(Some rx)
+        ~cost_scaling_stats:None rx
+  | Incremental_cost_scaling_only ->
+      let c = G.copy g in
+      if scratch then G.reset_flow c;
+      let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state c in
+      finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
+        ~cost_scaling_stats:(Some cs) cs
+  | Cost_scaling_scratch_only ->
+      let c = G.copy g in
+      let cs = Cost_scaling.solve ?stop ~incremental:false t.cs_state c in
+      finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
+        ~cost_scaling_stats:(Some cs) cs
+  | Fastest_sequential -> solve_sequential ?stop ~scratch t g
+  | Race_parallel -> solve_parallel ?stop ~scratch t g

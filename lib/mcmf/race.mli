@@ -34,9 +34,18 @@ val mode : t -> mode
 type winner = Relaxation | Cost_scaling
 
 type result = {
-  graph : Flowgraph.Graph.t;  (** the winning solution; adopt as canonical *)
+  graph : Flowgraph.Graph.t;
+      (** always a coherent graph to adopt as canonical: the winner's
+          optimal solution when the round solved, and the {e untouched}
+          input graph when it ended [Stopped] or [Infeasible] — a bad
+          round never corrupts the caller's warm-start state *)
+  partial : Flowgraph.Graph.t option;
+      (** on [Stopped]: the stopped solver's intermediate pseudoflow
+          (a structure-preserving copy of the input), suitable for
+          best-effort placement extraction
+          ({!Firmament.Placement.extract_partial}); [None] otherwise *)
   winner : winner;
-  stats : Solver_intf.stats;  (** the winner's stats *)
+  stats : Solver_intf.stats;  (** the winner's stats — inspect [outcome] *)
   relaxation_stats : Solver_intf.stats option;
   cost_scaling_stats : Solver_intf.stats option;
 }
@@ -47,8 +56,16 @@ type result = {
     runs cost scaling, or the flow is not optimal (first run). *)
 val prepare : t -> Flowgraph.Graph.t -> unit
 
-(** [solve ?stop t g] solves the (already updated) graph [g]. [g] itself is
-    used for one algorithm; the other runs on a copy — always adopt
-    [result.graph] afterwards and drop other references.
-    @raise Failure if every attempted algorithm reports infeasibility. *)
-val solve : ?stop:Solver_intf.stop -> t -> Flowgraph.Graph.t -> result
+(** [solve ?stop ?scratch t g] solves the (already updated) graph [g].
+    [g] itself is never mutated: every algorithm runs on a
+    structure-preserving copy (same node/arc ids), and [result.graph] is
+    the copy to adopt on success or [g] itself on a degraded outcome.
+    Never raises on infeasibility or cancellation — inspect
+    [result.stats.outcome]. When the two-solver modes disagree, an
+    [Infeasible] verdict (a sound proof) takes precedence over [Stopped].
+
+    [~scratch:true] discards the warm start: copies get a fresh
+    {!Flowgraph.Graph.reset_flow} and cost scaling takes the full scratch
+    ε ladder — the scheduler's second attempt after an [Infeasible]
+    round. *)
+val solve : ?stop:Solver_intf.stop -> ?scratch:bool -> t -> Flowgraph.Graph.t -> result

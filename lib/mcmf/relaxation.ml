@@ -281,14 +281,23 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
       in_worklist.(s) <- false;
       if G.excess g s > 0 then begin
         incr iterations;
-        if !iterations land 255 = 0 && stop () then raise Solver_intf.Stop;
+        (* Poll on the first phase too: an already-expired deadline must
+           stop the solve before any work, not 256 phases in. *)
+        if !iterations land 255 = 1 && stop () then raise Solver_intf.Stop;
         reset_phase ();
         pred.(s) <- -1;
         let e0, f0 = add_to_s s in
         let e_s = ref e0 and out_flux = ref f0 in
         (try
            let running = ref true in
+           let phase_steps = ref 0 in
            while !running do
+             (* A single ascent phase can grow S across the whole graph;
+                poll the deadline inside it too, not only per phase. The
+                handler below commits pending rises, so stopping here
+                still leaves materialized potentials. *)
+             incr phase_steps;
+             if !phase_steps land 1023 = 0 && stop () then raise Solver_intf.Stop;
              if !e_s <= 0 then
                (* The surplus moved out of S (saturating pushes). *)
                running := false

@@ -38,11 +38,12 @@ type stop = unit -> bool
 
 let never_stop : stop = fun () -> false
 
-(** [deadline_stop seconds] stops once [seconds] of wall-clock time have
-    elapsed from the call. Combine with a flag via {!either_stop}. *)
+(** [deadline_stop seconds] stops once at least [seconds] of wall-clock
+    time have elapsed from the call — so a zero deadline fires at the
+    very first poll. Combine with a flag via {!either_stop}. *)
 let deadline_stop seconds : stop =
   let t0 = Unix.gettimeofday () in
-  fun () -> Unix.gettimeofday () -. t0 > seconds
+  fun () -> Unix.gettimeofday () -. t0 >= seconds
 
 let flag_stop (flag : bool Atomic.t) : stop = fun () -> Atomic.get flag
 let either_stop a b : stop = fun () -> a () || b ()

@@ -235,6 +235,57 @@ let test_replay_survives_machine_failures () =
   (* Victims of injected failures are re-placed during the metered run. *)
   checkb "failures forced rescheduling" true (m.Dcsim.Replay.tasks_placed > 0)
 
+let test_replay_deadline_degrades_gracefully () =
+  (* A zero round deadline stops every non-trivial solve at its first
+     poll: the replay must keep going (no exception, no corrupted
+     network), count the degraded rounds, and terminate. The job is big
+     enough that its round cannot finish inside the clock resolution. *)
+  let topology =
+    Cluster.Topology.make ~machines:40 ~machines_per_rack:4 ~slots_per_machine:8 ()
+  in
+  let tasks =
+    Array.init 200 (fun i -> W.make_task ~tid:i ~job:0 ~submit_time:1. ~duration:50. ())
+  in
+  let trace =
+    {
+      Cluster.Trace.topology;
+      initial_jobs = [];
+      arrivals = [ (1., W.make_job ~jid:0 ~klass:Cluster.Types.Batch ~submit_time:1. ~tasks) ];
+      machine_events = [];
+      params = Cluster.Trace.default_params ~machines:40 ();
+    }
+  in
+  let m =
+    Dcsim.Replay.run
+      {
+        Dcsim.Replay.default_config with
+        scheduler = { Firmament.Scheduler.default_config with deadline = Some 0. };
+        max_rounds = Some 10;
+      }
+      trace
+  in
+  checkb "rounds ran" true (m.Dcsim.Replay.rounds > 0);
+  checkb "deadline rounds counted as partial" true (m.Dcsim.Replay.partial_rounds > 0);
+  checki "ladder accounting consistent" m.Dcsim.Replay.degraded_rounds
+    (m.Dcsim.Replay.partial_rounds + m.Dcsim.Replay.infeasible_retries
+   + m.Dcsim.Replay.failed_rounds);
+  checki "nothing committed by degraded rounds" 200 m.Dcsim.Replay.unfinished_waiting
+
+let test_replay_generous_deadline_unaffected () =
+  let trace = small_trace () in
+  let m =
+    Dcsim.Replay.run
+      {
+        Dcsim.Replay.default_config with
+        scheduler = { Firmament.Scheduler.default_config with deadline = Some 30. };
+        solver_time = `Fixed 0.01;
+        max_sim_time = Some 400.;
+      }
+      trace
+  in
+  checki "no degraded rounds" 0 m.Dcsim.Replay.degraded_rounds;
+  checki "nothing left waiting" 0 m.Dcsim.Replay.unfinished_waiting
+
 (* {1 Workload builders} *)
 
 let test_short_task_jobs_load () =
@@ -387,6 +438,10 @@ let () =
           Alcotest.test_case "deterministic with fixed solver" `Quick
             test_replay_deterministic_with_fixed_solver;
           Alcotest.test_case "timeline monotone" `Quick test_replay_timeline_monotone;
+          Alcotest.test_case "deadline degrades gracefully" `Quick
+            test_replay_deadline_degrades_gracefully;
+          Alcotest.test_case "generous deadline unaffected" `Quick
+            test_replay_generous_deadline_unaffected;
         ] );
       ( "workloads",
         [

@@ -216,6 +216,76 @@ let test_extract_partial_reads_incomplete_flow () =
     [ (0, Some 0); (1, None) ]
     (List.map (fun p -> (p.Firmament.Placement.task, p.Firmament.Placement.machine)) partial)
 
+let partial_pairs partial =
+  List.map (fun p -> (p.Firmament.Placement.task, p.Firmament.Placement.machine)) partial
+
+let test_extract_partial_backtracks_and_refunds () =
+  (* Two tasks through an aggregator; a dead-end arc (flow parked at a
+     rack that forwards nothing) is probed first thanks to head insertion.
+     Both walks must probe it, refund it, and still place both tasks — a
+     leaked probe budget would strand the second task. *)
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t0 = FN.add_task net 0 in
+  let t1 = FN.add_task net 1 in
+  let agg = FN.ensure_cluster_agg net in
+  let m = FN.ensure_machine net 0 ~slots:2 in
+  let dead = FN.ensure_rack net 0 in
+  let a_t0 = G.add_arc g ~src:t0 ~dst:agg ~cost:0 ~cap:1 in
+  let a_t1 = G.add_arc g ~src:t1 ~dst:agg ~cost:0 ~cap:1 in
+  let a_am = G.add_arc g ~src:agg ~dst:m ~cost:0 ~cap:2 in
+  (* Added last: iterated first by the walk. *)
+  let a_ad = G.add_arc g ~src:agg ~dst:dead ~cost:0 ~cap:1 in
+  List.iter (fun a -> G.push g a 1) [ a_t0; a_t1; a_ad ];
+  G.push g a_am 2;
+  G.push g (Option.get (FN.find_arc net m (FN.sink net))) 2;
+  Alcotest.(check (list (pair int (option int))))
+    "both tasks placed despite the dead-end probe"
+    [ (0, Some 0); (1, Some 0) ]
+    (partial_pairs (Firmament.Placement.extract_partial net))
+
+let test_extract_partial_machine_sink_budget () =
+  (* The walk reaches a machine whose sink arc carries no flow (excess
+     parked there mid-solve): it must not claim that machine, and must
+     back out and find the one whose flow actually drains. *)
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t0 = FN.add_task net 0 in
+  let agg = FN.ensure_cluster_agg net in
+  let m1 = FN.ensure_machine net 1 ~slots:1 in
+  let m0 = FN.ensure_machine net 0 ~slots:1 in
+  let a_t = G.add_arc g ~src:t0 ~dst:agg ~cost:0 ~cap:1 in
+  let a_m1 = G.add_arc g ~src:agg ~dst:m1 ~cost:0 ~cap:1 in
+  (* Added last, probed first: this unit parks at m0, never reaching the
+     sink. *)
+  let a_m0 = G.add_arc g ~src:agg ~dst:m0 ~cost:0 ~cap:1 in
+  List.iter (fun a -> G.push g a 1) [ a_t; a_m1; a_m0 ];
+  G.push g (Option.get (FN.find_arc net m1 (FN.sink net))) 1;
+  Alcotest.(check (list (pair int (option int))))
+    "placed on the machine with sink flow"
+    [ (0, Some 1) ]
+    (partial_pairs (Firmament.Placement.extract_partial net))
+
+let test_extract_partial_never_oversubscribes () =
+  (* Two units of task flow converge on a machine that forwards only one
+     to the sink: at most one task may be attributed to it. *)
+  let net = FN.create () in
+  let g = FN.graph net in
+  let t0 = FN.add_task net 0 in
+  let t1 = FN.add_task net 1 in
+  let m = FN.ensure_machine net 0 ~slots:2 in
+  let a0 = G.add_arc g ~src:t0 ~dst:m ~cost:0 ~cap:1 in
+  let a1 = G.add_arc g ~src:t1 ~dst:m ~cost:0 ~cap:1 in
+  G.push g a0 1;
+  G.push g a1 1;
+  G.push g (Option.get (FN.find_arc net m (FN.sink net))) 1;
+  let placed =
+    List.filter
+      (fun p -> p.Firmament.Placement.machine <> None)
+      (Firmament.Placement.extract_partial net)
+  in
+  checki "exactly one placement" 1 (List.length placed)
+
 let test_validate_structure_detects_drift () =
   let net = FN.create () in
   let m = FN.ensure_machine net 0 ~slots:2 in
@@ -469,6 +539,147 @@ let test_scheduler_quincy_mode_matches_firmament_placements () =
   let c_firm = run Mcmf.Race.Fastest_sequential in
   checki "same optimal cost" c_quincy c_firm
 
+(* {1 Degraded rounds: infeasible networks and round deadlines} *)
+
+let all_race_modes =
+  Mcmf.Race.
+    [
+      Race_parallel;
+      Fastest_sequential;
+      Relaxation_only;
+      Incremental_cost_scaling_only;
+      Cost_scaling_scratch_only;
+    ]
+
+let degraded_t =
+  Alcotest.testable Firmament.Scheduler.pp_degraded (fun a b -> a = b)
+
+(* A policy whose network is unroutable by construction: every task's only
+   arc leads to a machine with a zero-capacity sink arc, and no
+   unscheduled aggregator exists to absorb the supply. *)
+let unroutable_policy ~drain:_ net _st =
+  let g = FN.graph net in
+  {
+    Firmament.Policy.name = "unroutable";
+    task_submitted =
+      (fun (task : W.task) ->
+        let tn = FN.add_task net task.W.tid in
+        let m = FN.ensure_machine net 0 ~slots:0 in
+        ignore (G.add_arc g ~src:tn ~dst:m ~cost:1 ~cap:1));
+    task_finished = (fun _ -> ());
+    task_started = (fun _ _ -> ());
+    task_preempted = (fun _ -> ());
+    machine_failed = (fun _ -> ());
+    machine_restored = (fun _ -> ());
+    refresh = (fun ~now:_ -> ());
+  }
+
+let test_scheduler_infeasible_round_fails_gracefully () =
+  List.iter
+    (fun mode ->
+      let cluster = mk_cluster ~machines:1 ~slots:2 in
+      let sched =
+        Firmament.Scheduler.create
+          ~config:{ Firmament.Scheduler.default_config with mode }
+          cluster ~policy:unroutable_policy
+      in
+      Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:2 ~submit:0. ~duration:10.);
+      let r1 = solve_sched sched ~now:0. in
+      Alcotest.check degraded_t "failed round" `Failed r1.Firmament.Scheduler.degraded;
+      checki "nothing started" 0 (List.length r1.Firmament.Scheduler.started);
+      checki "all reported unscheduled" 2 r1.Firmament.Scheduler.unscheduled;
+      checki "cluster untouched" 2 (Cluster.State.waiting_count cluster);
+      (* Repair the network (give machine 0 its real slot capacity): the
+         preserved pre-round graph must recover to a clean optimal round. *)
+      let net = Firmament.Scheduler.network sched in
+      let m = FN.ensure_machine net 0 ~slots:0 in
+      (match FN.find_arc net m (FN.sink net) with
+      | Some a -> G.set_capacity (FN.graph net) a 2
+      | None -> Alcotest.fail "machine lost its sink arc");
+      let r2 = solve_sched sched ~now:1. in
+      Alcotest.check degraded_t "recovered" `None r2.Firmament.Scheduler.degraded;
+      checki "both started" 2 (List.length r2.Firmament.Scheduler.started);
+      checki "none waiting" 0 (Cluster.State.waiting_count cluster))
+    all_race_modes
+
+let test_scheduler_stopped_round_degrades_to_partial () =
+  List.iter
+    (fun mode ->
+      let cluster = mk_cluster ~machines:4 ~slots:2 in
+      let sched =
+        Firmament.Scheduler.create
+          ~config:{ Firmament.Scheduler.default_config with mode }
+          cluster
+          ~policy:(fun ~drain net st -> Firmament.Policy_load_spread.make ~drain net st)
+      in
+      Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:6 ~submit:0. ~duration:50.);
+      let r1 = Firmament.Scheduler.schedule ~stop:(fun () -> true) sched ~now:0. in
+      Alcotest.check degraded_t "partial round" `Partial r1.Firmament.Scheduler.degraded;
+      for m = 0 to 3 do
+        checkb "no oversubscription" true (Cluster.State.running_count cluster m <= 2)
+      done;
+      let r2 = solve_sched sched ~now:1. in
+      Alcotest.check degraded_t "recovered" `None r2.Firmament.Scheduler.degraded;
+      checki "everything running" 6
+        (List.length r1.Firmament.Scheduler.started
+        + List.length r2.Firmament.Scheduler.started);
+      checki "none waiting" 0 (Cluster.State.waiting_count cluster))
+    all_race_modes
+
+let test_scheduler_midsolve_stop_capacity_valid () =
+  (* Cancel the solve after a handful of polls, wherever that lands: the
+     round reports a ladder rung, commits only capacity-valid placements,
+     and the next unconstrained round recovers fully. *)
+  List.iter
+    (fun k ->
+      let cluster = mk_cluster ~machines:4 ~slots:2 in
+      let sched =
+        Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+            Firmament.Policy_quincy.make ~drain net st)
+      in
+      let tasks =
+        List.init 8 (fun i ->
+            quincy_task ~tid:i ~job:0 ~submit:0. ~duration:50. ~input_mb:200.
+              ~input_machines:[ i mod 4 ])
+      in
+      Firmament.Scheduler.submit_job sched (job_of_tasks ~jid:0 ~submit:0. tasks);
+      let polls = ref 0 in
+      let stop () =
+        incr polls;
+        !polls > k
+      in
+      let r1 = Firmament.Scheduler.schedule ~stop sched ~now:0. in
+      checkb "on the ladder" true
+        (List.mem r1.Firmament.Scheduler.degraded [ `None; `Partial ]);
+      for m = 0 to 3 do
+        checkb "no oversubscription" true (Cluster.State.running_count cluster m <= 2)
+      done;
+      let r2 = solve_sched sched ~now:1. in
+      Alcotest.check degraded_t "recovers" `None r2.Firmament.Scheduler.degraded;
+      checki "none waiting" 0 (Cluster.State.waiting_count cluster))
+    [ 0; 1; 2; 5; 20 ]
+
+let test_scheduler_config_deadline () =
+  (* A zero deadline stops every solve immediately: rounds degrade to
+     [`Partial] without exceptions. A generous one changes nothing. *)
+  let run deadline =
+    let cluster = mk_cluster ~machines:2 ~slots:2 in
+    let sched =
+      Firmament.Scheduler.create
+        ~config:{ Firmament.Scheduler.default_config with deadline }
+        cluster
+        ~policy:(fun ~drain net st -> Firmament.Policy_load_spread.make ~drain net st)
+    in
+    Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:3 ~submit:0. ~duration:10.);
+    let r = solve_sched sched ~now:0. in
+    (r.Firmament.Scheduler.degraded, Cluster.State.waiting_count cluster)
+  in
+  let d0, _ = run (Some 0.) in
+  Alcotest.check degraded_t "zero deadline degrades" `Partial d0;
+  let d, waiting = run (Some 60.) in
+  Alcotest.check degraded_t "generous deadline completes" `None d;
+  checki "all placed" 0 waiting
+
 let () =
   Alcotest.run "firmament"
     [
@@ -493,6 +704,12 @@ let () =
           Alcotest.test_case "unscheduled task" `Quick test_extract_unscheduled_task;
           Alcotest.test_case "multi-hop aggregators" `Quick test_extract_multi_hop_aggregators;
           Alcotest.test_case "rejects infeasible flow" `Quick test_extract_rejects_infeasible;
+          Alcotest.test_case "partial walk backtracks and refunds" `Quick
+            test_extract_partial_backtracks_and_refunds;
+          Alcotest.test_case "partial walk claims machine sink budget" `Quick
+            test_extract_partial_machine_sink_budget;
+          Alcotest.test_case "partial walk never oversubscribes" `Quick
+            test_extract_partial_never_oversubscribes;
         ] );
       ( "scheduler",
         [
@@ -517,5 +734,15 @@ let () =
             test_quincy_threshold_controls_arc_count;
           Alcotest.test_case "network-aware bucket rounding" `Quick
             test_network_aware_bucket_rounding;
+        ] );
+      ( "degraded-rounds",
+        [
+          Alcotest.test_case "infeasible network fails gracefully" `Quick
+            test_scheduler_infeasible_round_fails_gracefully;
+          Alcotest.test_case "stopped round degrades to partial" `Quick
+            test_scheduler_stopped_round_degrades_to_partial;
+          Alcotest.test_case "mid-solve stop stays capacity-valid" `Quick
+            test_scheduler_midsolve_stop_capacity_valid;
+          Alcotest.test_case "config deadline" `Quick test_scheduler_config_deadline;
         ] );
     ]

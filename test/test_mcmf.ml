@@ -620,6 +620,156 @@ let test_race_incremental_sequence () =
     checkb "optimal each round" true (Validate.is_optimal !g)
   done
 
+(* {1 Degraded outcomes: infeasible and stopped races} *)
+
+let all_race_modes =
+  Mcmf.Race.
+    [
+      Race_parallel;
+      Fastest_sequential;
+      Relaxation_only;
+      Incremental_cost_scaling_only;
+      Cost_scaling_scratch_only;
+    ]
+
+let mode_name =
+  Mcmf.Race.(
+    function
+    | Race_parallel -> "race"
+    | Fastest_sequential -> "fastest"
+    | Relaxation_only -> "relaxation"
+    | Incremental_cost_scaling_only -> "incremental-cs"
+    | Cost_scaling_scratch_only -> "quincy-cs")
+
+let test_race_infeasible_returns_untouched_input () =
+  (* An unroutable instance must come back as a result (not an exception),
+     with [graph] being the caller's input, flow-free: the warm start
+     survives the bad round and recovers once the instance is repaired. *)
+  List.iter
+    (fun mode ->
+      let name = mode_name mode in
+      let race = Mcmf.Race.create ~mode () in
+      let g = G.create () in
+      let s = G.add_node g ~supply:5 in
+      let t = G.add_node g ~supply:(-5) in
+      let a = G.add_arc g ~src:s ~dst:t ~cost:1 ~cap:2 in
+      let r = Mcmf.Race.solve race g in
+      Alcotest.check outcome_t (name ^ " infeasible") S.Infeasible
+        r.Mcmf.Race.stats.S.outcome;
+      checkb (name ^ " returns the input graph") true (r.Mcmf.Race.graph == g);
+      checki (name ^ " input flow untouched") 0 (G.flow g a);
+      checkb (name ^ " no partial on infeasible") true (r.Mcmf.Race.partial = None);
+      G.set_capacity g a 5;
+      let r2 = Mcmf.Race.solve race g in
+      Alcotest.check outcome_t (name ^ " optimal after repair") S.Optimal
+        r2.Mcmf.Race.stats.S.outcome;
+      checki (name ^ " cost after repair") 5 (G.total_cost r2.Mcmf.Race.graph))
+    all_race_modes
+
+let test_race_stopped_preserves_input () =
+  List.iter
+    (fun mode ->
+      let name = mode_name mode in
+      let race = Mcmf.Race.create ~mode () in
+      let g = random_instance 7 in
+      let flows g' =
+        let acc = ref [] in
+        G.iter_arcs g' (fun a -> acc := G.flow g' a :: !acc);
+        !acc
+      in
+      let before = flows g in
+      let r = Mcmf.Race.solve ~stop:(fun () -> true) race g in
+      match r.Mcmf.Race.stats.S.outcome with
+      | S.Stopped ->
+          checkb (name ^ " input graph returned") true (r.Mcmf.Race.graph == g);
+          checkb (name ^ " partial pseudoflow surfaced") true
+            (r.Mcmf.Race.partial <> None);
+          Alcotest.(check (list int)) (name ^ " input flow untouched") before (flows g)
+      | S.Optimal -> () (* beat the first stop poll: also a legal outcome *)
+      | S.Infeasible -> Alcotest.failf "%s: feasible instance reported infeasible" name)
+    all_race_modes
+
+let test_race_scratch_ignores_stale_flow () =
+  (* A half-mutated pseudoflow on the input (as a stopped round leaves
+     behind) must not leak into a ~scratch solve, nor be clobbered by it. *)
+  List.iter
+    (fun mode ->
+      let name = mode_name mode in
+      let race = Mcmf.Race.create ~mode () in
+      let g = diamond () in
+      let dirty = ref (-1) in
+      G.iter_arcs g (fun a -> if G.cost g a = 5 then dirty := a);
+      G.push g !dirty 1;
+      let r = Mcmf.Race.solve ~scratch:true race g in
+      Alcotest.check outcome_t (name ^ " optimal") S.Optimal r.Mcmf.Race.stats.S.outcome;
+      checki (name ^ " cost") diamond_optimal_cost (G.total_cost r.Mcmf.Race.graph);
+      checki (name ^ " stale input flow kept") 1 (G.flow g !dirty))
+    all_race_modes
+
+let prop_race_stop_never_corrupts =
+  (* Cancel the solve after [k] polls, at whatever point that lands: the
+     input stays coherent, so re-solving without a stop reaches the true
+     optimum. *)
+  QCheck.Test.make ~name:"stopped race leaves a re-solvable graph" ~count:40
+    QCheck.(pair (int_bound 1_000_000) (int_bound 200))
+    (fun (seed, k) ->
+      let race = Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential () in
+      let g = random_instance seed in
+      let polls = ref 0 in
+      let stop () =
+        incr polls;
+        !polls > k
+      in
+      let r = Mcmf.Race.solve ~stop race g in
+      match r.Mcmf.Race.stats.S.outcome with
+      | S.Optimal -> Validate.is_optimal r.Mcmf.Race.graph
+      | S.Stopped ->
+          let r2 = Mcmf.Race.solve race g in
+          r2.Mcmf.Race.stats.S.outcome = S.Optimal
+          && Validate.is_optimal r2.Mcmf.Race.graph
+      | S.Infeasible -> false)
+
+let test_ensure_scale_shrinks_after_contraction () =
+  (* Race orchestrators share one cost-scaling state across rounds; after
+     a big instance the stored scale must come back down for a small one
+     instead of inflating its ε ladder forever. *)
+  let st = Mcmf.Cost_scaling.create ~alpha:4 () in
+  let big = (Flowgraph.Netgen.scheduling ~tasks:60 ~machines:10 ~seed:1 ()).Flowgraph.Netgen.graph in
+  let sb = Mcmf.Cost_scaling.solve st big in
+  Alcotest.check outcome_t "big optimal" S.Optimal sb.S.outcome;
+  let big_scale = Mcmf.Cost_scaling.ensure_scale st big in
+  let g = diamond () in
+  let shrunk = Mcmf.Cost_scaling.ensure_scale st g in
+  checkb "scale shrank" true (shrunk < big_scale);
+  checki "tracks the live node count" (G.node_count g + 2) shrunk;
+  let s = Mcmf.Cost_scaling.solve st g in
+  Alcotest.check outcome_t "small optimal at shrunk scale" S.Optimal s.S.outcome;
+  checki "small cost" diamond_optimal_cost (G.total_cost g)
+
+let test_ensure_scale_shrink_keeps_incremental_lockstep () =
+  (* Warm potentials written before the contraction are rescaled, not
+     discarded: an incremental re-solve after the shrink must still agree
+     with a from-scratch solve. *)
+  let st = Mcmf.Cost_scaling.create ~alpha:4 () in
+  let g = diamond () in
+  let s1 = Mcmf.Cost_scaling.solve st g in
+  Alcotest.check outcome_t "first optimal" S.Optimal s1.S.outcome;
+  (* The shared state visits a much larger graph, growing the scale... *)
+  let big = (Flowgraph.Netgen.scheduling ~tasks:60 ~machines:10 ~seed:2 ()).Flowgraph.Netgen.graph in
+  ignore (Mcmf.Cost_scaling.solve st big);
+  (* ...then returns to the small warm graph with a changed cost. *)
+  let changed = ref (-1) in
+  G.iter_arcs g (fun a -> if G.cost g a = 5 then changed := a);
+  G.set_cost g !changed 2;
+  let g_scratch = G.copy g in
+  G.reset_flow g_scratch;
+  let s2 = Mcmf.Cost_scaling.solve ~incremental:true st g in
+  let s3 = Mcmf.Cost_scaling.solve (Mcmf.Cost_scaling.create ()) g_scratch in
+  Alcotest.check outcome_t "incremental optimal" S.Optimal s2.S.outcome;
+  Alcotest.check outcome_t "scratch optimal" S.Optimal s3.S.outcome;
+  checki "same cost as scratch" (G.total_cost g_scratch) (G.total_cost g);
+  checkb "valid optimum" true (Validate.is_optimal g)
+
 (* {1 Early termination (deadline) behaviour} *)
 
 let test_deadline_stops () =
@@ -731,6 +881,17 @@ let () =
           Alcotest.test_case "prepare no-op without cost scaling" `Quick
             test_race_prepare_noop_without_cost_scaling;
         ] );
+      ( "degradation",
+        Alcotest.test_case "infeasible returns untouched input" `Quick
+          test_race_infeasible_returns_untouched_input
+        :: Alcotest.test_case "stopped preserves input" `Quick test_race_stopped_preserves_input
+        :: Alcotest.test_case "scratch ignores stale flow" `Quick
+             test_race_scratch_ignores_stale_flow
+        :: Alcotest.test_case "scale shrinks after contraction" `Quick
+             test_ensure_scale_shrinks_after_contraction
+        :: Alcotest.test_case "shrink keeps incremental lockstep" `Quick
+             test_ensure_scale_shrink_keeps_incremental_lockstep
+        :: qcheck [ prop_race_stop_never_corrupts ] );
       ( "termination",
         [
           Alcotest.test_case "deadline stops" `Quick test_deadline_stops;
