@@ -704,6 +704,96 @@ let fig19b ~scale () =
   header "Figure 19b: short batch tasks with background traffic (40 machines)";
   fig19 ~background:true ~n_tasks:(max 40 (int_of_float (200. *. scale *. 10.))) ()
 
+(* {1 Steady-state allocation / round latency (tentpole perf metric)} *)
+
+(* Two measurements on a settled ~1k-machine cluster (at the default
+   --scale 0.2):
+   - solver-only warm rounds: prepare + Race.solve on the already-optimal
+     graph, the pure steady-state re-solve the scratch-graph/workspace
+     reuse targets;
+   - full scheduler rounds with 1% churn: the end-to-end rounds/sec
+     number, policy updates included.
+   Reports mean/p99 wall time and Gc.allocated_bytes per round, and
+   records them for --json. *)
+let alloc ~scale () =
+  header "Steady-state rounds: latency and allocations per round";
+  let machines = max 50 (int_of_float (5000. *. scale)) in
+  let s = Setup.settle ~machines ~util:0.5 ~policy:Setup.Quincy ~seed:42 () in
+  let net = Firmament.Scheduler.network s.Setup.sched in
+  let stats_of xs =
+    ( Stats.mean xs,
+      Stats.percentile xs 50.,
+      Stats.percentile xs 99. )
+  in
+  (* Solver-only warm rounds, mirroring the scheduler's adopt/recycle
+     protocol on an unchanged optimal graph. *)
+  let race = Mcmf.Race.create ~alpha:9 ~mode:Mcmf.Race.Fastest_sequential () in
+  let g = ref (G.copy (FN.graph net)) in
+  let solve_round () =
+    Mcmf.Race.prepare race !g;
+    let r = Mcmf.Race.solve race !g in
+    (match r.Mcmf.Race.stats.S.outcome with
+    | S.Optimal ->
+        let old = !g in
+        g := r.Mcmf.Race.graph;
+        Mcmf.Race.recycle race old
+    | S.Infeasible | S.Stopped -> ());
+    r
+  in
+  ignore (solve_round ());
+  (* warm-up: reach steady state *)
+  let rounds = 40 in
+  let times = ref [] and bytes = ref [] in
+  for _ = 1 to rounds do
+    let b0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    ignore (solve_round ());
+    times := (Unix.gettimeofday () -. t0) :: !times;
+    bytes := (Gc.allocated_bytes () -. b0) :: !bytes
+  done;
+  let t_mean, t_p50, t_p99 = stats_of !times in
+  let b_mean, _, _ = stats_of !bytes in
+  row [ "phase"; "mean"; "p50"; "p99"; "alloc/round" ];
+  row
+    [
+      "solver-only (warm)"; pp t_mean; pp t_p50; pp t_p99;
+      Printf.sprintf "%.0f B" b_mean;
+    ];
+  (* Full scheduler rounds with light churn. *)
+  let rounds2 = 20 in
+  let times2 = ref [] and bytes2 = ref [] in
+  for i = 1 to rounds2 do
+    let now = float_of_int i in
+    Setup.churn s ~frac:0.01 ~now;
+    let b0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Setup.schedule s ~now);
+    times2 := (Unix.gettimeofday () -. t0) :: !times2;
+    bytes2 := (Gc.allocated_bytes () -. b0) :: !bytes2
+  done;
+  let t2_mean, t2_p50, t2_p99 = stats_of !times2 in
+  let b2_mean, _, _ = stats_of !bytes2 in
+  row
+    [
+      "full round (1% churn)"; pp t2_mean; pp t2_p50; pp t2_p99;
+      Printf.sprintf "%.0f B" b2_mean;
+    ];
+  Printf.printf "machines: %d, rounds/sec (full, mean): %.1f\n" machines
+    (1. /. Float.max 1e-9 t2_mean);
+  Json_out.record ~experiment:"alloc" ~scale
+    [
+      ("machines", float_of_int machines);
+      ("solver_mean_s", t_mean);
+      ("solver_p50_s", t_p50);
+      ("solver_p99_s", t_p99);
+      ("solver_alloc_bytes", b_mean);
+      ("round_mean_s", t2_mean);
+      ("round_p50_s", t2_p50);
+      ("round_p99_s", t2_p99);
+      ("round_alloc_bytes", b2_mean);
+      ("rounds_per_sec", 1. /. Float.max 1e-9 t2_mean);
+    ]
+
 (* {1 Registry} *)
 
 let all =
@@ -727,4 +817,5 @@ let all =
     ("fig18", "Accelerated-trace placement latency", fig18);
     ("fig19a", "Testbed, idle network", fig19a);
     ("fig19b", "Testbed, background traffic", fig19b);
+    ("alloc", "Steady-state round latency + allocations", alloc);
   ]

@@ -1,0 +1,47 @@
+(* Machine-readable benchmark output: experiments record flat metric maps
+   here and [write] dumps them as a JSON array when `--json FILE` was
+   given. Hand-rolled serialization — the only values are strings and
+   floats, and we avoid a JSON dependency. *)
+
+type record = { experiment : string; scale : float; metrics : (string * float) list }
+
+let records : record list ref = ref []
+
+let record ~experiment ~scale metrics =
+  records := { experiment; scale; metrics } :: !records
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_field v =
+  (* JSON has no NaN/inf; clamp to null-ish sentinel. *)
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "null"
+
+let write path =
+  let oc = open_out path in
+  let out = output_string oc in
+  out "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then out ",\n";
+      out
+        (Printf.sprintf "  {\"experiment\": \"%s\", \"scale\": %s, \"metrics\": {"
+           (escape r.experiment) (float_field r.scale));
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then out ", ";
+          out (Printf.sprintf "\"%s\": %s" (escape k) (float_field v)))
+        r.metrics;
+      out "}}")
+    (List.rev !records);
+  out "\n]\n";
+  close_out oc;
+  Printf.eprintf "[bench] wrote %d record(s) to %s\n%!" (List.length !records) path

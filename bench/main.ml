@@ -3,9 +3,10 @@
    for recorded outputs). *)
 
 let usage () =
-  print_endline "usage: bench/main.exe [EXPERIMENT ...] [--scale S] [--list]";
+  print_endline "usage: bench/main.exe [EXPERIMENT ...] [--scale S] [--json FILE] [--list]";
   print_endline "  EXPERIMENT: one of the ids below, 'all', or 'micro'";
   print_endline "  --scale S : machine-count multiplier (1.0 = paper size; default 0.2)";
+  print_endline "  --json FILE : also write machine-readable results (JSON array)";
   print_endline "";
   List.iter
     (fun (name, descr, _) -> Printf.printf "  %-8s %s\n" name descr)
@@ -16,6 +17,7 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let scale = ref 0.2 in
   let selected = ref [] in
+  let json_file = ref None in
   let rec parse = function
     | [] -> ()
     | "--list" :: _ ->
@@ -27,6 +29,9 @@ let () =
         | Some _ | None ->
             prerr_endline "bench: --scale expects a positive number";
             exit 2);
+        parse rest
+    | "--json" :: f :: rest ->
+        json_file := Some f;
         parse rest
     | ("--help" | "-h") :: _ ->
         usage ();
@@ -65,6 +70,7 @@ let () =
             exit 2)
   in
   List.iter run_one selected;
+  Option.iter Json_out.write !json_file;
   Printf.printf "\ntotal bench wall time: %.1fs (scale %.2f)\n"
     (Unix.gettimeofday () -. t0)
     !scale

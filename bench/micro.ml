@@ -76,6 +76,15 @@ let test_graph_copy =
   let g = scheduling_graph ~tasks:2000 ~machines:100 in
   Test.make ~name:"graph copy (2k tasks)" (Staged.stage (fun () -> ignore (G.copy g)))
 
+let test_graph_copy_into =
+  (* The steady-state variant: after the first refresh the destination's
+     arrays are warm, so each iteration is pure blits — this is the number
+     Race.take pays per round. *)
+  let g = scheduling_graph ~tasks:2000 ~machines:100 in
+  let dst = G.create () in
+  Test.make ~name:"graph copy_into warm dst (2k tasks)"
+    (Staged.stage (fun () -> G.copy_into dst g))
+
 let run () =
   let tests =
     Test.make_grouped ~name:"kernels"
@@ -84,6 +93,7 @@ let run () =
         test_active_scan;
         test_full_scan;
         test_graph_copy;
+        test_graph_copy_into;
         test_relaxation_small;
         test_cost_scaling_small;
       ]

@@ -31,8 +31,8 @@ type t = {
   mutable n_tasks : int;
 }
 
-let create () =
-  let g = G.create () in
+let create ?node_hint ?arc_hint () =
+  let g = G.create ?node_hint ?arc_hint () in
   let sink = G.add_node g ~supply:0 in
   let kinds = Hashtbl.create 256 in
   Hashtbl.replace kinds sink Sink;

@@ -27,8 +27,10 @@ val pp_node_kind : Format.formatter -> node_kind -> unit
 
 type t
 
-(** [create ()] builds a network containing only the sink. *)
-val create : unit -> t
+(** [create ()] builds a network containing only the sink.
+    [node_hint]/[arc_hint] pre-size the graph's storage (pass
+    cluster-sized estimates to avoid growth doublings mid-round). *)
+val create : ?node_hint:int -> ?arc_hint:int -> unit -> t
 
 val graph : t -> Flowgraph.Graph.t
 

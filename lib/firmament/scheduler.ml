@@ -55,7 +55,15 @@ type t = {
 }
 
 let create ?(config = default_config) cluster ~policy =
-  let net = FN.create () in
+  (* Pre-size the flow graph from the cluster's shape so steady-state
+     rounds never pay growth doublings: one node per machine/rack plus
+     roughly one task per slot (with aggregator and churn headroom), and
+     a few arcs per node (task→aggregator→machine→sink chains). *)
+  let topo = Cluster.State.topology cluster in
+  let machines = Cluster.Topology.machine_count topo in
+  let slots = Cluster.Topology.total_slots topo in
+  let node_hint = (2 * (machines + slots)) + 64 in
+  let net = FN.create ~node_hint ~arc_hint:(4 * node_hint) () in
   let p = policy ~drain:config.drain_on_removal net cluster in
   {
     config;
@@ -102,9 +110,16 @@ let restore_machine t m =
    only capacity-valid placements commit. *)
 let commit_partial t ~now partial_graph =
   let keep = FN.graph t.net in
-  FN.set_graph t.net partial_graph;
-  let placements = Placement.extract_partial t.net in
-  FN.set_graph t.net keep;
+  (* The canonical graph must come back even if extraction raises — an
+     exception here must not leave the network pointing at the transient
+     pseudoflow. *)
+  let placements =
+    Fun.protect
+      ~finally:(fun () -> FN.set_graph t.net keep)
+      (fun () ->
+        FN.set_graph t.net partial_graph;
+        Placement.extract_partial t.net)
+  in
   let starts = ref [] in
   List.iter
     (fun { Placement.task; machine } ->
@@ -175,7 +190,12 @@ let schedule ?stop t ~now =
          best-effort placements. *)
       let started =
         match result.Mcmf.Race.partial with
-        | Some pg -> commit_partial t ~now pg
+        | Some pg ->
+            let starts = commit_partial t ~now pg in
+            (* The pseudoflow has been consumed; let the next round reuse
+               its storage. *)
+            Mcmf.Race.recycle t.race pg;
+            starts
         | None -> []
       in
       Log.debug (fun m ->
@@ -189,7 +209,11 @@ let schedule ?stop t ~now =
         unscheduled = Cluster.State.waiting_count t.cluster;
       }
   | Mcmf.Solver_intf.Optimal ->
+      let replaced = FN.graph t.net in
       FN.set_graph t.net result.Mcmf.Race.graph;
+      (* Swap-on-optimal: the displaced canonical graph becomes the next
+         round's scratch copy instead of garbage. *)
+      Mcmf.Race.recycle t.race replaced;
       let placements = Placement.extract t.net in
       (* Price refine runs on the untouched optimal solution, before the
          placement diff mutates the graph (paper §6.2). *)

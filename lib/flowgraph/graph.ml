@@ -55,27 +55,27 @@ let no_changes =
   }
 
 let create ?(node_hint = 16) ?(arc_hint = 64) () =
-  ignore node_hint;
-  ignore arc_hint;
+  (* Residual storage holds two entries per arc pair. *)
+  let n = max 8 node_hint and r = max 16 (2 * arc_hint) in
   {
-    supply = Vec.create ~dummy:0;
-    excess = Vec.create ~dummy:0;
-    potential = Vec.create ~dummy:0;
-    first_out = Vec.create ~dummy:(-1);
-    node_live = Vec.create ~dummy:false;
-    free_nodes = Vec.create ~dummy:(-1);
+    supply = Vec.create ~capacity:n ~dummy:0 ();
+    excess = Vec.create ~capacity:n ~dummy:0 ();
+    potential = Vec.create ~capacity:n ~dummy:0 ();
+    first_out = Vec.create ~capacity:n ~dummy:(-1) ();
+    node_live = Vec.create ~capacity:n ~dummy:false ();
+    free_nodes = Vec.create ~dummy:(-1) ();
     live_nodes = 0;
-    head = Vec.create ~dummy:(-1);
-    arc_cost = Vec.create ~dummy:0;
-    rescap = Vec.create ~dummy:0;
-    next_out = Vec.create ~dummy:(-1);
-    prev_out = Vec.create ~dummy:(-1);
-    first_active = Vec.create ~dummy:(-1);
-    next_active = Vec.create ~dummy:(-1);
-    prev_active = Vec.create ~dummy:(-1);
-    active_flag = Vec.create ~dummy:false;
-    arc_live = Vec.create ~dummy:false;
-    free_pairs = Vec.create ~dummy:(-1);
+    head = Vec.create ~capacity:r ~dummy:(-1) ();
+    arc_cost = Vec.create ~capacity:r ~dummy:0 ();
+    rescap = Vec.create ~capacity:r ~dummy:0 ();
+    next_out = Vec.create ~capacity:r ~dummy:(-1) ();
+    prev_out = Vec.create ~capacity:r ~dummy:(-1) ();
+    first_active = Vec.create ~capacity:n ~dummy:(-1) ();
+    next_active = Vec.create ~capacity:r ~dummy:(-1) ();
+    prev_active = Vec.create ~capacity:r ~dummy:(-1) ();
+    active_flag = Vec.create ~capacity:r ~dummy:false ();
+    arc_live = Vec.create ~capacity:r ~dummy:false ();
+    free_pairs = Vec.create ~dummy:(-1) ();
     live_arcs = 0;
     ch_structural = 0;
     ch_cost = 0;
@@ -121,12 +121,19 @@ let add_node g ~supply =
     n
   end
 
+(* Unchecked Vec accessors for the kernels below. Every index fed to them
+   is proven live by construction: it came off one of the graph's own
+   intrusive lists, or was bounds-checked once on entry (see push). The
+   checked API stays in force everywhere else — see DESIGN.md. *)
+let uget = Vec.unsafe_get
+let uset = Vec.unsafe_set
+
 let rev a = a lxor 1
 let is_forward a = a land 1 = 0
-let dst g a = Vec.get g.head a
-let src g a = Vec.get g.head (rev a)
-let cost g a = Vec.get g.arc_cost a
-let rescap g a = Vec.get g.rescap a
+let dst g a = uget g.head a
+let src g a = uget g.head (rev a)
+let cost g a = uget g.arc_cost a
+let rescap g a = uget g.rescap a
 
 let flow g a =
   if not (is_forward a) then invalid_arg "Graph.flow: reverse arc";
@@ -147,12 +154,12 @@ let set_supply g n b =
     g.ch_supply <- g.ch_supply + 1
   end
 
-let excess g n = Vec.get g.excess n
-let potential g n = Vec.get g.potential n
-let set_potential g n p = Vec.set g.potential n p
+let excess g n = uget g.excess n
+let potential g n = uget g.potential n
+let set_potential g n p = uset g.potential n p
 
 let reduced_cost g a =
-  Vec.get g.arc_cost a - Vec.get g.potential (src g a) + Vec.get g.potential (dst g a)
+  uget g.arc_cost a - uget g.potential (src g a) + uget g.potential (dst g a)
 
 (* Link residual arc [a] (with head already set) into [from]'s out-list. *)
 let link_out g ~from a =
@@ -171,29 +178,29 @@ let unlink_out g ~from a =
 
 (* Insert residual arc [a] (tail [from]) into the active list. *)
 let activate g ~from a =
-  if not (Vec.get g.active_flag a) then begin
-    Vec.set g.active_flag a true;
-    let h = Vec.get g.first_active from in
-    Vec.set g.next_active a h;
-    Vec.set g.prev_active a (-1);
-    if h >= 0 then Vec.set g.prev_active h a;
-    Vec.set g.first_active from a
+  if not (uget g.active_flag a) then begin
+    uset g.active_flag a true;
+    let h = uget g.first_active from in
+    uset g.next_active a h;
+    uset g.prev_active a (-1);
+    if h >= 0 then uset g.prev_active h a;
+    uset g.first_active from a
   end
 
 let deactivate g ~from a =
-  if Vec.get g.active_flag a then begin
-    Vec.set g.active_flag a false;
-    let p = Vec.get g.prev_active a and n = Vec.get g.next_active a in
-    if p >= 0 then Vec.set g.next_active p n else Vec.set g.first_active from n;
-    if n >= 0 then Vec.set g.prev_active n p;
-    Vec.set g.next_active a (-1);
-    Vec.set g.prev_active a (-1)
+  if uget g.active_flag a then begin
+    uset g.active_flag a false;
+    let p = uget g.prev_active a and n = uget g.next_active a in
+    if p >= 0 then uset g.next_active p n else uset g.first_active from n;
+    if n >= 0 then uset g.prev_active n p;
+    uset g.next_active a (-1);
+    uset g.prev_active a (-1)
   end
 
 (* Reconcile arc [a]'s active-list membership with its residual capacity. *)
 let sync_active g a =
-  let from = Vec.get g.head (rev a) in
-  if Vec.get g.rescap a > 0 then activate g ~from a else deactivate g ~from a
+  let from = uget g.head (rev a) in
+  if uget g.rescap a > 0 then activate g ~from a else deactivate g ~from a
 
 let add_arc g ~src:s ~dst:d ~cost:c ~cap =
   if cap < 0 then invalid_arg "Graph.add_arc: negative capacity";
@@ -316,14 +323,16 @@ let set_capacity g a u =
 
 let push g a d =
   if d < 0 then invalid_arg "Graph.push: negative amount";
+  (* This checked read also validates [a]; everything below may go
+     unchecked (rev a lives in the same pair, heads are live nodes). *)
   if d > Vec.get g.rescap a then invalid_arg "Graph.push: exceeds residual capacity";
   if d > 0 then begin
     let s = src g a and t = dst g a in
-    Vec.set g.rescap a (Vec.get g.rescap a - d);
-    Vec.set g.rescap (rev a) (Vec.get g.rescap (rev a) + d);
-    Vec.set g.excess s (Vec.get g.excess s - d);
-    Vec.set g.excess t (Vec.get g.excess t + d);
-    if Vec.get g.rescap a = 0 then deactivate g ~from:s a;
+    uset g.rescap a (uget g.rescap a - d);
+    uset g.rescap (rev a) (uget g.rescap (rev a) + d);
+    uset g.excess s (uget g.excess s - d);
+    uset g.excess t (uget g.excess t + d);
+    if uget g.rescap a = 0 then deactivate g ~from:s a;
     activate g ~from:t (rev a)
   end
 
@@ -337,10 +346,10 @@ let iter_out g n f =
   in
   go (Vec.get g.first_out n)
 
-let first_out g n = Vec.get g.first_out n
-let next_out g a = Vec.get g.next_out a
-let first_active g n = Vec.get g.first_active n
-let next_active g a = Vec.get g.next_active a
+let first_out g n = uget g.first_out n
+let next_out g a = uget g.next_out a
+let first_active g n = uget g.first_active n
+let next_active g a = uget g.next_active a
 
 let iter_nodes g f =
   for n = 0 to node_bound g - 1 do
@@ -408,6 +417,34 @@ let copy g =
     ch_supply = g.ch_supply;
     ch_max_cost = g.ch_max_cost;
   }
+
+let copy_into dst src =
+  if dst != src then begin
+    Vec.copy_into dst.supply src.supply;
+    Vec.copy_into dst.excess src.excess;
+    Vec.copy_into dst.potential src.potential;
+    Vec.copy_into dst.first_out src.first_out;
+    Vec.copy_into dst.node_live src.node_live;
+    Vec.copy_into dst.free_nodes src.free_nodes;
+    dst.live_nodes <- src.live_nodes;
+    Vec.copy_into dst.head src.head;
+    Vec.copy_into dst.arc_cost src.arc_cost;
+    Vec.copy_into dst.rescap src.rescap;
+    Vec.copy_into dst.next_out src.next_out;
+    Vec.copy_into dst.prev_out src.prev_out;
+    Vec.copy_into dst.first_active src.first_active;
+    Vec.copy_into dst.next_active src.next_active;
+    Vec.copy_into dst.prev_active src.prev_active;
+    Vec.copy_into dst.active_flag src.active_flag;
+    Vec.copy_into dst.arc_live src.arc_live;
+    Vec.copy_into dst.free_pairs src.free_pairs;
+    dst.live_arcs <- src.live_arcs;
+    dst.ch_structural <- src.ch_structural;
+    dst.ch_cost <- src.ch_cost;
+    dst.ch_capacity <- src.ch_capacity;
+    dst.ch_supply <- src.ch_supply;
+    dst.ch_max_cost <- src.ch_max_cost
+  end
 
 let peek_changes g =
   {

@@ -18,7 +18,16 @@
 
     Nodes and arcs are plain integer handles; removed handles are recycled,
     so holding a handle across a removal is a bug. Handle validity can be
-    checked with {!node_is_live} and {!arc_is_live}. *)
+    checked with {!node_is_live} and {!arc_is_live}.
+
+    {b Hot-kernel accessors are unchecked.} The read accessors and list
+    walkers on this interface ({!dst}, {!src}, {!cost}, {!rescap},
+    {!excess}, {!potential}, {!reduced_cost}, {!first_out}/{!next_out},
+    {!first_active}/{!next_active}) and the flow kernel {!push} sit in
+    solver inner loops and use {!Vec.unsafe_get}/{!Vec.unsafe_set}:
+    passing a handle that is not a live id of {e this} graph is undefined
+    behaviour, not an exception. Structural mutators ({!add_arc},
+    {!remove_arc}, {!set_cost}, …) still validate their arguments. *)
 
 type node = int
 type arc = int
@@ -164,6 +173,16 @@ val reset_flow : t -> unit
 
 (** [copy g] is a deep copy, safe to mutate from another domain. *)
 val copy : t -> t
+
+(** [copy_into dst src] makes [dst] observationally identical to
+    [copy src] — same node/arc ids, supplies, excesses, potentials,
+    costs, capacities, flows, adjacency and active lists, change
+    counters — while reusing [dst]'s backing arrays whenever their
+    capacity suffices (pure blits, zero allocation in steady state; a
+    previously-larger [dst] shrinks correctly). This is the scratch-graph
+    primitive behind {!Mcmf.Race}'s allocation-free rounds. No-op when
+    [dst == src]. *)
+val copy_into : t -> t -> unit
 
 (** {1 Change tracking}
 

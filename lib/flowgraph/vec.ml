@@ -1,6 +1,7 @@
 type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 
-let create ~dummy = { data = Array.make 8 dummy; len = 0; dummy }
+let create ?(capacity = 8) ~dummy () =
+  { data = Array.make (max 8 capacity) dummy; len = 0; dummy }
 
 let make n ~dummy x =
   let cap = max 8 n in
@@ -17,6 +18,11 @@ let get v i =
 let set v i x =
   if i < 0 || i >= v.len then invalid_arg "Vec.set";
   Array.unsafe_set v.data i x
+
+(* Unchecked accessors for solver inner loops. Callers must prove
+   [0 <= i < length v] by construction; see DESIGN.md "Memory discipline". *)
+let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_set v i x = Array.unsafe_set v.data i x
 
 let ensure_capacity v n =
   let cap = Array.length v.data in
@@ -81,8 +87,19 @@ let to_list v =
   build (v.len - 1) []
 
 let of_list ~dummy xs =
-  let v = create ~dummy in
+  let v = create ~dummy () in
   List.iter (fun x -> ignore (push v x)) xs;
   v
 
 let copy v = { data = Array.copy v.data; len = v.len; dummy = v.dummy }
+
+let copy_into dst src =
+  if dst != src then begin
+    ensure_capacity dst src.len;
+    Array.blit src.data 0 dst.data 0 src.len;
+    if dst.len > src.len then
+      (* Shrink: scrub the abandoned tail so no stale elements are
+         retained (matters for GC when 'a is boxed). *)
+      Array.fill dst.data src.len (dst.len - src.len) dst.dummy;
+    dst.len <- src.len
+  end

@@ -7,9 +7,11 @@
 
 type 'a t
 
-(** [create ~dummy] is an empty vector. [dummy] fills unused backing slots
-    and must be safe to retain (it is never returned by accessors). *)
-val create : dummy:'a -> 'a t
+(** [create ?capacity ~dummy ()] is an empty vector whose backing array is
+    pre-sized to at least [capacity] (default 8) slots. [dummy] fills
+    unused backing slots and must be safe to retain (it is never returned
+    by accessors). *)
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 
 (** [make n ~dummy x] is a vector of length [n] filled with [x]. *)
 val make : int -> dummy:'a -> 'a -> 'a t
@@ -20,6 +22,14 @@ val length : 'a t -> int
 val get : 'a t -> int -> 'a
 
 val set : 'a t -> int -> 'a -> unit
+
+(** [unsafe_get v i] / [unsafe_set v i x] skip the bounds check entirely
+    (undefined behaviour out of bounds). Reserved for solver inner loops
+    on indices proven live by construction — every other caller must use
+    the checked API. See the "Memory discipline" section of DESIGN.md. *)
+val unsafe_get : 'a t -> int -> 'a
+
+val unsafe_set : 'a t -> int -> 'a -> unit
 
 (** [push v x] appends [x] and returns its index. *)
 val push : 'a t -> 'a -> int
@@ -42,3 +52,9 @@ val of_list : dummy:'a -> 'a list -> 'a t
 
 (** [copy v] is an independent copy sharing no mutable state with [v]. *)
 val copy : 'a t -> 'a t
+
+(** [copy_into dst src] makes [dst] observationally equal to [src] without
+    allocating when [dst]'s backing array already has capacity for
+    [src]'s elements (a pair of blits otherwise). Handles both growth and
+    shrink; a no-op when [dst == src]. *)
+val copy_into : 'a t -> 'a t -> unit

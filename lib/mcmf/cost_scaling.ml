@@ -1,10 +1,47 @@
 module G = Flowgraph.Graph
 
-type state = { alpha : int; mutable scale : int }
+(* Besides the ε-scale carried across runs, the state owns the solver's
+   persistent workspace: node-indexed scratch reused by every [refine] of
+   every solve. [in_queue] is epoch-stamped (= queue_epoch iff queued) so
+   clearing it between refines is a counter bump; [cur_arc] and [p_start]
+   are written for every live node at refine start, so stale entries are
+   never read. *)
+type state = {
+  alpha : int;
+  mutable scale : int;
+  mutable nbound : int;
+  mutable in_queue : int array;
+  mutable cur_arc : int array;
+  mutable p_start : int array;
+  mutable queue_epoch : int;
+  active : Int_deque.t;
+}
 
 let create ?(alpha = 2) () =
   if alpha < 2 then invalid_arg "Cost_scaling.create: alpha < 2";
-  { alpha; scale = 2 }
+  {
+    alpha;
+    scale = 2;
+    nbound = 0;
+    in_queue = [||];
+    cur_arc = [||];
+    p_start = [||];
+    queue_epoch = 0;
+    active = Int_deque.create ();
+  }
+
+let ws_ensure st bound =
+  if bound > st.nbound then begin
+    let n = ref (max 64 st.nbound) in
+    while !n < bound do
+      n := !n * 2
+    done;
+    let n = !n in
+    st.in_queue <- Array.make n 0;
+    st.cur_arc <- Array.make n (-1);
+    st.p_start <- Array.make n 0;
+    st.nbound <- n
+  end
 
 let alpha st = st.alpha
 
@@ -49,9 +86,9 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
   let eps0 =
     let m = ref 1 in
     G.iter_arcs g (fun a0 ->
-        let look a = if G.rescap g a > 0 && -rc a > !m then m := -rc a in
-        look a0;
-        look (G.rev a0));
+        if G.rescap g a0 > 0 && -rc a0 > !m then m := -rc a0;
+        let a1 = G.rev a0 in
+        if G.rescap g a1 > 0 && -rc a1 > !m then m := -rc a1);
     if not incremental then max !m scratch_eps
     else if !m > 8 * scratch_eps then begin
       (* The warm potentials are wildly inconsistent with the graph (e.g.
@@ -75,9 +112,10 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
       if !unrouted * 5 > !supply_total && !m < scratch_eps then scratch_eps else !m
     end
   in
-  let active = Queue.create () in
-  let in_queue = Array.make bound false in
-  let cur_arc = Array.make bound (-1) in
+  ws_ensure st bound;
+  let active = st.active in
+  let cur_arc = st.cur_arc in
+  let p_start = st.p_start in
   let n_live = G.node_count g in
   let exception Infeasible in
   (* Unbounded relabeling is the signature of infeasibility, but potentials
@@ -98,29 +136,35 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
   let refine eps =
     incr iterations;
     if stop () then raise Solver_intf.Stop;
-    (* Make the pseudoflow 0-optimal at current prices... *)
+    (* Make the pseudoflow 0-optimal at current prices. Both directions
+       are checked inline — an inner [let fix a = ...] helper would be a
+       fresh closure per arc, megabytes per pass on cluster graphs. *)
     G.iter_arcs g (fun a0 ->
-        let fix a = if G.rescap g a > 0 && rc a < 0 then G.push g a (G.rescap g a) in
-        fix a0;
-        fix (G.rev a0));
+        if G.rescap g a0 > 0 && rc a0 < 0 then G.push g a0 (G.rescap g a0);
+        let a1 = G.rev a0 in
+        if G.rescap g a1 > 0 && rc a1 < 0 then G.push g a1 (G.rescap g a1));
     (* ...then discharge active nodes, pushing on admissible (rc < 0)
        residual arcs and relabeling when the current node has none. *)
-    Queue.clear active;
-    Array.fill in_queue 0 bound false;
-    let p_start = Array.make bound 0 in
+    Int_deque.clear active;
+    st.queue_epoch <- st.queue_epoch + 1;
+    let epoch = st.queue_epoch in
+    let in_queue = st.in_queue in
     G.iter_nodes g (fun n ->
         p_start.(n) <- G.potential g n;
         cur_arc.(n) <- G.first_out g n;
         if G.excess g n > 0 then begin
-          Queue.add n active;
-          in_queue.(n) <- true
+          Int_deque.push_back active n;
+          in_queue.(n) <- epoch
         end);
     let steps = ref 0 in
-    while not (Queue.is_empty active) do
+    (* Hoisted out of the relabel path: without flambda a local ref is a
+       minor-heap allocation, and relabels dominate warm rounds. *)
+    let min_rc = ref 0 and it = ref (-1) in
+    while not (Int_deque.is_empty active) do
       incr steps;
       if !steps land 1023 = 0 && stop () then raise Solver_intf.Stop;
-      let u = Queue.pop active in
-      in_queue.(u) <- false;
+      let u = Int_deque.pop_front active in
+      in_queue.(u) <- 0;
       (* Discharge u completely. *)
       let continue = ref (G.excess g u > 0) in
       while !continue do
@@ -128,8 +172,8 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
         if a < 0 then begin
           (* Relabel: raise p(u) until some out-arc becomes admissible. *)
           incr relabels;
-          let min_rc = ref max_int in
-          let it = ref (G.first_out g u) in
+          min_rc := max_int;
+          it := G.first_out g u;
           while !it >= 0 do
             if G.rescap g !it > 0 then begin
               let r = rc !it in
@@ -148,9 +192,9 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
             let v = G.dst g a in
             G.push g a d;
             incr pushes;
-            if G.excess g v > 0 && not in_queue.(v) then begin
-              Queue.add v active;
-              in_queue.(v) <- true
+            if G.excess g v > 0 && in_queue.(v) <> epoch then begin
+              Int_deque.push_back active v;
+              in_queue.(v) <- epoch
             end
           end;
           if G.excess g u > 0 then cur_arc.(u) <- G.next_out g a

@@ -1,0 +1,43 @@
+(* Circular-buffer deque of ints (node or arc ids). Shared by the solver
+   workspaces: relaxation's prioritized candidate queue, cost scaling's
+   active-node FIFO, price refine's SPFA queue. Grows by doubling, clears
+   in O(1) — a persistent workspace must not pay O(capacity) per solve. *)
+
+type t = { mutable buf : int array; mutable head : int; mutable len : int }
+
+let create ?(capacity = 16) () = { buf = Array.make (max 16 capacity) (-1); head = 0; len = 0 }
+
+let length d = d.len
+let is_empty d = d.len = 0
+
+let grow d =
+  let n = Array.length d.buf in
+  let buf' = Array.make (2 * n) (-1) in
+  for i = 0 to d.len - 1 do
+    buf'.(i) <- d.buf.((d.head + i) mod n)
+  done;
+  d.buf <- buf';
+  d.head <- 0
+
+let push_back d x =
+  if d.len = Array.length d.buf then grow d;
+  d.buf.((d.head + d.len) mod Array.length d.buf) <- x;
+  d.len <- d.len + 1
+
+let push_front d x =
+  if d.len = Array.length d.buf then grow d;
+  let n = Array.length d.buf in
+  d.head <- (d.head + n - 1) mod n;
+  d.buf.(d.head) <- x;
+  d.len <- d.len + 1
+
+let pop_front d =
+  if d.len = 0 then raise Not_found;
+  let x = d.buf.(d.head) in
+  d.head <- (d.head + 1) mod Array.length d.buf;
+  d.len <- d.len - 1;
+  x
+
+let clear d =
+  d.head <- 0;
+  d.len <- 0

@@ -1,0 +1,17 @@
+(** Growable circular-buffer deque of ints, the queue primitive of the
+    persistent solver workspaces: amortized O(1) pushes at both ends,
+    O(1) [clear] (no O(capacity) refill between solves). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val push_back : t -> int -> unit
+val push_front : t -> int -> unit
+
+(** [pop_front d] removes and returns the front element.
+    @raise Not_found when empty. *)
+val pop_front : t -> int
+
+val clear : t -> unit

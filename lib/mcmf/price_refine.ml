@@ -1,5 +1,41 @@
 module G = Flowgraph.Graph
 
+(* Persistent SPFA scratch. [dist] and [relax_count] are zeroed for every
+   live node at the start of each run (O(live), not O(bound)); [in_queue]
+   is epoch-stamped so stale entries from earlier runs never read as
+   queued. *)
+type workspace = {
+  mutable nbound : int;
+  mutable dist : int array;
+  mutable in_queue : int array; (* = epoch <=> queued *)
+  mutable relax_count : int array;
+  mutable epoch : int;
+  queue : Int_deque.t;
+}
+
+let create_workspace () =
+  {
+    nbound = 0;
+    dist = [||];
+    in_queue = [||];
+    relax_count = [||];
+    epoch = 0;
+    queue = Int_deque.create ();
+  }
+
+let ws_ensure ws bound =
+  if bound > ws.nbound then begin
+    let n = ref (max 64 ws.nbound) in
+    while !n < bound do
+      n := !n * 2
+    done;
+    let n = !n in
+    ws.dist <- Array.make n 0;
+    ws.in_queue <- Array.make n 0;
+    ws.relax_count <- Array.make n 0;
+    ws.nbound <- n
+  end
+
 (* Fast path: if the stored potentials already satisfy reduced-cost
    optimality in unscaled units (true whenever relaxation produced the
    solution — it maintains that invariant), valid scaled potentials are
@@ -8,32 +44,39 @@ let rescale_if_certified ~scale g =
   let ok = ref true in
   (try
      G.iter_arcs g (fun a0 ->
-         let look a =
-           if G.rescap g a > 0 && G.reduced_cost g a < 0 then begin
-             ok := false;
-             raise Exit
-           end
-         in
-         look a0;
-         look (G.rev a0))
+         if
+           (G.rescap g a0 > 0 && G.reduced_cost g a0 < 0)
+           || (G.rescap g (G.rev a0) > 0 && G.reduced_cost g (G.rev a0) < 0)
+         then begin
+           ok := false;
+           raise Exit
+         end)
    with Exit -> ());
   if !ok then
     G.iter_nodes g (fun v -> G.set_potential g v (G.potential g v * scale));
   !ok
 
-let run_spfa ~scale g =
+let run_spfa ~scale ws g =
   let bound = max 1 (G.node_bound g) in
-  let dist = Array.make bound 0 in
-  let in_queue = Array.make bound true in
-  let relax_count = Array.make bound 0 in
+  ws_ensure ws bound;
+  ws.epoch <- ws.epoch + 1;
+  let epoch = ws.epoch in
+  let dist = ws.dist in
+  let in_queue = ws.in_queue in
+  let relax_count = ws.relax_count in
+  let queue = ws.queue in
+  Int_deque.clear queue;
   let n = G.node_count g in
-  let queue = Queue.create () in
-  G.iter_nodes g (fun v -> Queue.add v queue);
+  G.iter_nodes g (fun v ->
+      dist.(v) <- 0;
+      relax_count.(v) <- 0;
+      in_queue.(v) <- epoch;
+      Int_deque.push_back queue v);
   let ok = ref true in
   (try
-     while not (Queue.is_empty queue) do
-       let u = Queue.pop queue in
-       in_queue.(u) <- false;
+     while not (Int_deque.is_empty queue) do
+       let u = Int_deque.pop_front queue in
+       in_queue.(u) <- 0;
        let it = ref (G.first_active g u) in
        while !it >= 0 do
          let a = !it in
@@ -47,9 +90,9 @@ let run_spfa ~scale g =
              ok := false;
              raise Exit
            end;
-           if not in_queue.(v) then begin
-             Queue.add v queue;
-             in_queue.(v) <- true
+           if in_queue.(v) <> epoch then begin
+             Int_deque.push_back queue v;
+             in_queue.(v) <- epoch
            end
          end;
          it := G.next_active g a
@@ -59,4 +102,8 @@ let run_spfa ~scale g =
   if !ok then G.iter_nodes g (fun v -> G.set_potential g v (- dist.(v)));
   !ok
 
-let run ?(scale = 1) g = if rescale_if_certified ~scale g then true else run_spfa ~scale g
+let run ?(scale = 1) ?workspace g =
+  if rescale_if_certified ~scale g then true
+  else
+    let ws = match workspace with Some w -> w | None -> create_workspace () in
+    run_spfa ~scale ws g

@@ -13,8 +13,15 @@
     every residual reduced cost non-negative, which exists iff the flow is
     optimal. *)
 
+(** Persistent SPFA scratch reused across runs; arrays are epoch-stamped
+    or rewritten per live node, never refilled over the whole bound. *)
+type workspace
+
+val create_workspace : unit -> workspace
+
 (** [run ?scale g] rewrites [g]'s potentials (multiplied by [scale], so
     they live in {!Cost_scaling}'s scaled-cost units; default 1). Returns
     [false] — leaving potentials untouched — if the current flow admits a
-    negative residual cycle (i.e. is not optimal). *)
-val run : ?scale:int -> Flowgraph.Graph.t -> bool
+    negative residual cycle (i.e. is not optimal). Without [?workspace] a
+    fresh one is allocated when the SPFA pass is needed. *)
+val run : ?scale:int -> ?workspace:workspace -> Flowgraph.Graph.t -> bool

@@ -7,16 +7,62 @@ type mode =
   | Incremental_cost_scaling_only
   | Cost_scaling_scratch_only
 
+(* Besides the orchestration config, [t] owns the round-to-round memory:
+   two scratch graphs (the racers' working copies, refreshed by
+   [G.copy_into] instead of reallocated) and the persistent solver
+   workspaces. A scratch slot is empty while its graph is exposed to the
+   caller (as [result.graph] or [partial]); graphs come back through
+   {!recycle} or by losing the race. *)
 type t = {
   mode : mode;
   price_refine : bool;
   cs_state : Cost_scaling.state;
+  rx_ws : Relaxation.workspace;
+  pr_ws : Price_refine.workspace;
+  mutable scratch_a : G.t option;
+  mutable scratch_b : G.t option;
 }
 
 let create ?(alpha = 9) ?(price_refine = true) ~mode () =
-  { mode; price_refine; cs_state = Cost_scaling.create ~alpha () }
+  {
+    mode;
+    price_refine;
+    cs_state = Cost_scaling.create ~alpha ();
+    rx_ws = Relaxation.create_workspace ();
+    pr_ws = Price_refine.create_workspace ();
+    scratch_a = None;
+    scratch_b = None;
+  }
 
 let mode t = t.mode
+
+(* Pop a scratch slot and refresh it into a copy of [g]; fall back to a
+   fresh allocation when both slots are out (first rounds, or a caller
+   that never recycles). The physical-equality guards keep a buggy
+   recycle of the live input from silently corrupting the round. *)
+let take t g =
+  match t.scratch_a with
+  | Some s when s != g ->
+      t.scratch_a <- None;
+      G.copy_into s g;
+      s
+  | _ -> (
+      match t.scratch_b with
+      | Some s when s != g ->
+          t.scratch_b <- None;
+          G.copy_into s g;
+          s
+      | _ -> G.copy g)
+
+let give_back t s =
+  match (t.scratch_a, t.scratch_b) with
+  | Some a, _ when a == s -> ()
+  | _, Some b when b == s -> ()
+  | None, _ -> t.scratch_a <- Some s
+  | _, None -> t.scratch_b <- Some s
+  | Some _, Some _ -> ()
+
+let recycle = give_back
 
 type winner = Relaxation | Cost_scaling
 
@@ -29,6 +75,18 @@ type result = {
   cost_scaling_stats : Solver_intf.stats option;
 }
 
+(* Return every working copy the result does not expose to its scratch
+   slots. The exposed ones (adopted optimum, surfaced partial) belong to
+   the caller until recycled. *)
+let reclaim t result copies =
+  List.iter
+    (fun c ->
+      if
+        c != result.graph
+        && (match result.partial with Some p -> c != p | None -> true)
+      then give_back t c)
+    copies
+
 let uses_cost_scaling t =
   match t.mode with
   | Relaxation_only -> false
@@ -39,7 +97,7 @@ let uses_cost_scaling t =
 let prepare t g =
   if t.price_refine && uses_cost_scaling t then begin
     let scale = Cost_scaling.ensure_scale t.cs_state g in
-    ignore (Price_refine.run ~scale g)
+    ignore (Price_refine.run ~scale ~workspace:t.pr_ws g)
   end
 
 (* Assemble a result so that [graph] is always coherent: the winner's copy
@@ -78,21 +136,25 @@ let two_solver_result ~input ~g_rx ~g_cs rx cs =
       ~cost_scaling_stats:(Some cs) rx
 
 let solve_sequential ?stop ~scratch t g =
-  let g_rx = G.copy g in
-  let g_cs = G.copy g in
+  let g_rx = take t g in
+  let g_cs = take t g in
   if scratch then begin
     G.reset_flow g_rx;
     G.reset_flow g_cs
   end;
-  let rx = Relaxation.solve ?stop g_rx in
+  let rx = Relaxation.solve ?stop ~workspace:t.rx_ws g_rx in
   let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state g_cs in
-  two_solver_result ~input:g ~g_rx ~g_cs rx cs
+  let r = two_solver_result ~input:g ~g_rx ~g_cs rx cs in
+  reclaim t r [ g_rx; g_cs ];
+  r
 
 (* Parallel race: both algorithms run in their own domain on their own
-   copy; the first Optimal finisher flips the shared cancel flag. *)
+   copy; the first Optimal finisher flips the shared cancel flag. Each
+   domain uses a distinct persistent workspace ([rx_ws] vs. [cs_state]'s),
+   so the scratch sharing is race-free. *)
 let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
-  let g_rx = G.copy g in
-  let g_cs = G.copy g in
+  let g_rx = take t g in
+  let g_cs = take t g in
   if scratch then begin
     G.reset_flow g_rx;
     G.reset_flow g_cs
@@ -105,7 +167,9 @@ let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
     | Solver_intf.Infeasible | Solver_intf.Stopped -> ());
     stats
   in
-  let d_rx = Domain.spawn (fun () -> announce (Relaxation.solve ~stop:stop' g_rx)) in
+  let d_rx =
+    Domain.spawn (fun () -> announce (Relaxation.solve ~stop:stop' ~workspace:t.rx_ws g_rx))
+  in
   let d_cs =
     Domain.spawn (fun () ->
         announce
@@ -113,26 +177,40 @@ let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
   in
   let rx = Domain.join d_rx in
   let cs = Domain.join d_cs in
-  two_solver_result ~input:g ~g_rx ~g_cs rx cs
+  let r = two_solver_result ~input:g ~g_rx ~g_cs rx cs in
+  reclaim t r [ g_rx; g_cs ];
+  r
 
 let solve ?stop ?(scratch = false) t g =
   match t.mode with
   | Relaxation_only ->
-      let c = G.copy g in
+      let c = take t g in
       if scratch then G.reset_flow c;
-      let rx = Relaxation.solve ?stop c in
-      finish ~input:g ~solved:c ~winner:Relaxation ~relaxation_stats:(Some rx)
-        ~cost_scaling_stats:None rx
+      let rx = Relaxation.solve ?stop ~workspace:t.rx_ws c in
+      let r =
+        finish ~input:g ~solved:c ~winner:Relaxation ~relaxation_stats:(Some rx)
+          ~cost_scaling_stats:None rx
+      in
+      reclaim t r [ c ];
+      r
   | Incremental_cost_scaling_only ->
-      let c = G.copy g in
+      let c = take t g in
       if scratch then G.reset_flow c;
       let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state c in
-      finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
-        ~cost_scaling_stats:(Some cs) cs
+      let r =
+        finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
+          ~cost_scaling_stats:(Some cs) cs
+      in
+      reclaim t r [ c ];
+      r
   | Cost_scaling_scratch_only ->
-      let c = G.copy g in
+      let c = take t g in
       let cs = Cost_scaling.solve ?stop ~incremental:false t.cs_state c in
-      finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
-        ~cost_scaling_stats:(Some cs) cs
+      let r =
+        finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
+          ~cost_scaling_stats:(Some cs) cs
+      in
+      reclaim t r [ c ];
+      r
   | Fastest_sequential -> solve_sequential ?stop ~scratch t g
   | Race_parallel -> solve_parallel ?stop ~scratch t g

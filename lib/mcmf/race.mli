@@ -10,7 +10,18 @@
     Use {!prepare} on the {e previous} optimal solution before applying
     cluster changes: it price-refines the potentials so the next
     incremental cost scaling run starts at an ε bounded by the costliest
-    changed arc (§6.2, Fig. 13). *)
+    changed arc (§6.2, Fig. 13).
+
+    {b Memory discipline} (DESIGN.md): the orchestrator owns two scratch
+    graphs and the solvers' persistent workspaces, so a steady-state round
+    allocates (almost) nothing. Each {!solve} refreshes scratch copies
+    with {!Flowgraph.Graph.copy_into}; a graph exposed in the result
+    ([graph] on Optimal, [partial] on Stopped) leaves its slot and belongs
+    to the caller, who should hand a graph it no longer needs back with
+    {!recycle} — typically the replaced canonical graph after adopting an
+    optimum, or a consumed partial. Never recycling is safe (the next
+    round falls back to allocating); recycling keeps rounds
+    allocation-free. *)
 
 type mode =
   | Race_parallel  (** two domains, first optimal result wins; the loser is cancelled *)
@@ -69,3 +80,11 @@ val prepare : t -> Flowgraph.Graph.t -> unit
     ε ladder — the scheduler's second attempt after an [Infeasible]
     round. *)
 val solve : ?stop:Solver_intf.stop -> ?scratch:bool -> t -> Flowgraph.Graph.t -> result
+
+(** [recycle t g] donates [g]'s storage back to [t]'s scratch pool, to be
+    refreshed by a later {!solve}. Call it on graphs you own and no longer
+    need — the canonical graph just replaced by an adopted [result.graph],
+    or a [partial] whose placements have been extracted. [g] must no
+    longer be read by the caller afterwards. Recycling a graph already in
+    the pool, or more graphs than the pool holds, is a safe no-op. *)
+val recycle : t -> Flowgraph.Graph.t -> unit

@@ -1,47 +1,9 @@
 module G = Flowgraph.Graph
-
-(* Circular-buffer deque of arc ids: arc prioritization pushes promising
-   arcs (those leading to demand nodes) to the front, others to the back. *)
-module Deque = struct
-  type t = { mutable buf : int array; mutable head : int; mutable len : int }
-
-  let create () = { buf = Array.make 16 (-1); head = 0; len = 0 }
-
-  let grow d =
-    let n = Array.length d.buf in
-    let buf' = Array.make (2 * n) (-1) in
-    for i = 0 to d.len - 1 do
-      buf'.(i) <- d.buf.((d.head + i) mod n)
-    done;
-    d.buf <- buf';
-    d.head <- 0
-
-  let push_back d x =
-    if d.len = Array.length d.buf then grow d;
-    d.buf.((d.head + d.len) mod Array.length d.buf) <- x;
-    d.len <- d.len + 1
-
-  let push_front d x =
-    if d.len = Array.length d.buf then grow d;
-    let n = Array.length d.buf in
-    d.head <- (d.head + n - 1) mod n;
-    d.buf.(d.head) <- x;
-    d.len <- d.len + 1
-
-  let pop_front d =
-    if d.len = 0 then raise Not_found;
-    let x = d.buf.(d.head) in
-    d.head <- (d.head + 1) mod Array.length d.buf;
-    d.len <- d.len - 1;
-    x
-
-  let clear d =
-    d.head <- 0;
-    d.len <- 0
-end
+module Deque = Int_deque
 
 (* Binary min-heap of (key, arc) pairs, no decrease-key (entries are
-   advisory; staleness is checked at pop). *)
+   advisory; staleness is checked at pop). Lives in the workspace; [clear]
+   is O(1). *)
 module Arc_heap = struct
   type t = { mutable keys : int array; mutable arcs : int array; mutable len : int }
 
@@ -102,13 +64,67 @@ module Arc_heap = struct
     done
 end
 
+(* Persistent per-solver scratch. All node-indexed arrays grow to the
+   graph's node bound once and are then reused across solves; boolean sets
+   are epoch-stamped so "clearing" them is a counter bump, never an
+   O(bound) refill. Safe to reuse even after a solve aborted mid-phase
+   (Stop / Infeasible): membership from a dead phase can never equal a
+   fresh epoch. *)
+type workspace = {
+  mutable nbound : int;
+  mutable in_s : int array; (* in_s.(n) = phase_epoch  <=>  n ∈ S *)
+  mutable rise_at_join : int array;
+  mutable pred : int array;
+  mutable in_worklist : int array; (* = solve_epoch <=> queued *)
+  mutable s_members : int array;
+  mutable s_len : int;
+  mutable phase_epoch : int;
+  mutable solve_epoch : int;
+  candidates : Deque.t;
+  pos_heap : Arc_heap.t;
+  worklist : Deque.t;
+}
+
+let create_workspace () =
+  {
+    nbound = 0;
+    in_s = [||];
+    rise_at_join = [||];
+    pred = [||];
+    in_worklist = [||];
+    s_members = [||];
+    s_len = 0;
+    phase_epoch = 0;
+    solve_epoch = 0;
+    candidates = Deque.create ();
+    pos_heap = Arc_heap.create ();
+    worklist = Deque.create ();
+  }
+
+let ws_ensure ws bound =
+  if bound > ws.nbound then begin
+    let n = ref (max 64 ws.nbound) in
+    while !n < bound do
+      n := !n * 2
+    done;
+    let n = !n in
+    (* Fresh zero-filled arrays: epochs start at 1, so stale zeros never
+       read as current membership. *)
+    ws.in_s <- Array.make n 0;
+    ws.rise_at_join <- Array.make n 0;
+    ws.pred <- Array.make n (-1);
+    ws.in_worklist <- Array.make n 0;
+    ws.s_members <- Array.make n 0;
+    ws.nbound <- n
+  end
+
 (* One RELAX solve. The dual-ascent set S grows from a surplus node along
    balanced residual arcs; price rises are applied lazily (rise_total and
    per-member join marks) so a rise costs O(|S|)-free heap work instead of
    rescanning every member's adjacency — crucial on scheduling graphs
    whose aggregators have enormous degree. *)
 let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
-    ?(arc_prioritization = true) g =
+    ?(arc_prioritization = true) ?workspace g =
   let t0 = Unix.gettimeofday () in
   let iterations = ref 0 in
   let pushes = ref 0 in
@@ -122,41 +138,46 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
   (* Establish reduced-cost optimality (possibly breaking feasibility). *)
   Ssp.establish_optimality g;
   let bound = max 1 (G.node_bound g) in
-  let in_s = Array.make bound false in
-  let rise_at_join = Array.make bound 0 in
-  let s_members = ref [] in
-  let pred = Array.make bound (-1) in
-  let candidates = Deque.create () in
-  let pos_heap = Arc_heap.create () in
+  let ws = match workspace with Some w -> w | None -> create_workspace () in
+  ws_ensure ws bound;
+  ws.solve_epoch <- ws.solve_epoch + 1;
+  let solve_epoch = ws.solve_epoch in
+  let in_s = ws.in_s in
+  let rise_at_join = ws.rise_at_join in
+  let pred = ws.pred in
+  let in_worklist = ws.in_worklist in
+  let candidates = ws.candidates in
+  let pos_heap = ws.pos_heap in
+  let worklist = ws.worklist in
+  Deque.clear worklist;
+  ws.s_len <- 0;
   let rise_total = ref 0 in
-  (* Surplus worklist. *)
-  let worklist = Queue.create () in
-  let in_worklist = Array.make bound false in
   let enqueue_surplus n =
-    if G.excess g n > 0 && not in_worklist.(n) then begin
-      Queue.add n worklist;
-      in_worklist.(n) <- true
+    if G.excess g n > 0 && in_worklist.(n) <> solve_epoch then begin
+      Deque.push_back worklist n;
+      in_worklist.(n) <- solve_epoch
     end
   in
   G.iter_nodes g (fun n -> enqueue_surplus n);
   let exception Infeasible in
+  let in_set n = in_s.(n) = ws.phase_epoch in
   let pending i = !rise_total - rise_at_join.(i) in
   (* Materialize the lazily accumulated price rises of this phase.
      Idempotent: committed members' join marks advance to the current
      rise level. *)
   let commit_rises () =
-    List.iter
-      (fun i ->
-        let d = pending i in
-        if d > 0 then begin
-          G.set_potential g i (G.potential g i + d);
-          rise_at_join.(i) <- !rise_total
-        end)
-      !s_members
+    for k = 0 to ws.s_len - 1 do
+      let i = ws.s_members.(k) in
+      let d = pending i in
+      if d > 0 then begin
+        G.set_potential g i (G.potential g i + d);
+        rise_at_join.(i) <- !rise_total
+      end
+    done
   in
   let reset_phase () =
-    List.iter (fun n -> in_s.(n) <- false) !s_members;
-    s_members := [];
+    ws.phase_epoch <- ws.phase_epoch + 1;
+    ws.s_len <- 0;
     Deque.clear candidates;
     Arc_heap.clear pos_heap;
     rise_total := 0
@@ -165,51 +186,57 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
     if arc_prioritization && G.excess g (G.dst g a) < 0 then Deque.push_front candidates a
     else Deque.push_back candidates a
   in
-  (* Add node [j] to S; returns its contribution to (e_S, out_flux) and
-     feeds the candidate deque / positive-arc heap. Only active (positive
-     residual) arcs are scanned. out_flux tracks the rescap sum of deque
-     entries; arcs that become internal are corrected lazily when their
-     deque entry is popped (so no backward scan of j's full adjacency is
-     ever needed). *)
+  (* Phase accumulators and loop cursors, allocated once per solve: the
+     helpers below mutate these instead of returning tuples — without
+     flambda every tuple return and local ref is a minor-heap allocation,
+     and these sit in the per-member hot path. *)
+  let e_s = ref 0 and out_flux = ref 0 in
+  let scan = ref (-1) in
+  let pr_continue = ref false and pr_delta = ref 0 and pr_promoting = ref false in
+  let running = ref false and phase_steps = ref 0 in
+  (* Add node [j] to S, accumulating its contribution into [e_s] and
+     [out_flux] and feeding the candidate deque / positive-arc heap. Only
+     active (positive residual) arcs are scanned. out_flux tracks the
+     rescap sum of deque entries; arcs that become internal are corrected
+     lazily when their deque entry is popped (so no backward scan of j's
+     full adjacency is ever needed). *)
   let add_to_s j =
-    in_s.(j) <- true;
+    in_s.(j) <- ws.phase_epoch;
     rise_at_join.(j) <- !rise_total;
-    s_members := j :: !s_members;
-    let de = G.excess g j in
-    let dflux = ref 0 in
-    let it = ref (G.first_active g j) in
-    while !it >= 0 do
-      let a = !it in
+    ws.s_members.(ws.s_len) <- j;
+    ws.s_len <- ws.s_len + 1;
+    e_s := !e_s + G.excess g j;
+    scan := G.first_active g j;
+    while !scan >= 0 do
+      let a = !scan in
       let k = G.dst g a in
-      if not in_s.(k) then begin
+      if not (in_set k) then begin
         (* pending(j) = 0 right now, so raw reduced cost is effective. *)
         let rc = G.reduced_cost g a in
         if rc = 0 then begin
-          dflux := !dflux + G.rescap g a;
+          out_flux := !out_flux + G.rescap g a;
           add_candidate a
         end
         else if rc > 0 then Arc_heap.push pos_heap (rc + !rise_total) a
       end;
-      it := G.next_active g a
-    done;
-    (de, !dflux)
+      scan := G.next_active g a
+    done
   in
   (* Saturate the balanced crossing arcs (they go reduced-cost-negative
      once prices rise), pick the smallest positive crossing reduced cost
      from the heap, and promote newly balanced arcs to candidates.
-     Returns the updated (e_s, out_flux). *)
-  let price_rise e_s out_flux =
+     Updates [e_s] and [out_flux] in place. *)
+  let price_rise () =
     incr price_rises;
-    let e_s = ref e_s and out_flux = ref out_flux in
-    let continue = ref true in
-    while !continue do
+    pr_continue := true;
+    while !pr_continue do
       match Deque.pop_front candidates with
       | exception Not_found ->
-          continue := false;
+          pr_continue := false;
           out_flux := 0
       | a ->
           let f = G.rescap g a in
-          if (not in_s.(G.dst g a)) && f > 0 then begin
+          if (not (in_set (G.dst g a))) && f > 0 then begin
             G.push g a f;
             incr pushes;
             e_s := !e_s - f;
@@ -220,42 +247,49 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
     done;
     (* Find delta: smallest effective reduced cost among valid positive
        crossing arcs. *)
-    let delta = ref (-1) in
-    while !delta < 0 do
+    pr_delta := -1;
+    while !pr_delta < 0 do
       if Arc_heap.is_empty pos_heap then raise Infeasible;
       let key = Arc_heap.peek_key pos_heap and a = Arc_heap.peek_arc pos_heap in
-      if in_s.(G.dst g a) || G.rescap g a = 0 then Arc_heap.pop pos_heap
+      if in_set (G.dst g a) || G.rescap g a = 0 then Arc_heap.pop pos_heap
       else begin
         let eff = key - !rise_total in
         (* Entries are pushed with eff > 0 and eff only shrinks via
            rise_total; zero entries were promoted at their rise. *)
-        delta := max 1 eff
+        pr_delta := max 1 eff
       end
     done;
-    rise_total := !rise_total + !delta;
+    rise_total := !rise_total + !pr_delta;
     (* Promote arcs that just became balanced. *)
-    let promoting = ref true in
-    while !promoting do
-      if Arc_heap.is_empty pos_heap then promoting := false
+    pr_promoting := true;
+    while !pr_promoting do
+      if Arc_heap.is_empty pos_heap then pr_promoting := false
       else begin
         let key = Arc_heap.peek_key pos_heap and a = Arc_heap.peek_arc pos_heap in
-        if in_s.(G.dst g a) || G.rescap g a = 0 then Arc_heap.pop pos_heap
+        if in_set (G.dst g a) || G.rescap g a = 0 then Arc_heap.pop pos_heap
         else if key - !rise_total <= 0 then begin
           Arc_heap.pop pos_heap;
           out_flux := !out_flux + G.rescap g a;
           add_candidate a
         end
-        else promoting := false
+        else pr_promoting := false
       end
-    done;
-    (!e_s, !out_flux)
+    done
+  in
+  (* Path helpers at solve level so augment allocates no closures. *)
+  let rec bottleneck v acc =
+    if pred.(v) < 0 then acc
+    else bottleneck (G.src g pred.(v)) (min acc (G.rescap g pred.(v)))
+  in
+  let rec root v = if pred.(v) < 0 then v else root (G.src g pred.(v)) in
+  let rec push_path v amount =
+    if pred.(v) >= 0 then begin
+      G.push g pred.(v) amount;
+      incr pushes;
+      push_path (G.src g pred.(v)) amount
+    end
   in
   let augment t =
-    let rec bottleneck v acc =
-      if pred.(v) < 0 then acc
-      else bottleneck (G.src g pred.(v)) (min acc (G.rescap g pred.(v)))
-    in
-    let rec root v = if pred.(v) < 0 then v else root (G.src g pred.(v)) in
     let s = root t in
     (* Saturating pushes during price rises may have drained the phase
        root's own excess even though S as a whole kept surplus; the
@@ -263,22 +297,18 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
     let amount =
       max 0 (min (G.excess g s) (min (- G.excess g t) (bottleneck t max_int)))
     in
-    if amount > 0 then begin
-      let rec push_path v =
-        if pred.(v) >= 0 then begin
-          G.push g pred.(v) amount;
-          incr pushes;
-          push_path (G.src g pred.(v))
-        end
-      in
-      push_path t
-    end;
+    if amount > 0 then push_path t amount;
     enqueue_surplus s
   in
+  let enqueue_members () =
+    for k = 0 to ws.s_len - 1 do
+      enqueue_surplus ws.s_members.(k)
+    done
+  in
   try
-    while not (Queue.is_empty worklist) do
-      let s = Queue.pop worklist in
-      in_worklist.(s) <- false;
+    while not (Deque.is_empty worklist) do
+      let s = Deque.pop_front worklist in
+      in_worklist.(s) <- 0;
       if G.excess g s > 0 then begin
         incr iterations;
         (* Poll on the first phase too: an already-expired deadline must
@@ -286,11 +316,12 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
         if !iterations land 255 = 1 && stop () then raise Solver_intf.Stop;
         reset_phase ();
         pred.(s) <- -1;
-        let e0, f0 = add_to_s s in
-        let e_s = ref e0 and out_flux = ref f0 in
+        e_s := 0;
+        out_flux := 0;
+        add_to_s s;
         (try
-           let running = ref true in
-           let phase_steps = ref 0 in
+           running := true;
+           phase_steps := 0;
            while !running do
              (* A single ascent phase can grow S across the whole graph;
                 poll the deadline inside it too, not only per phase. The
@@ -301,11 +332,7 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
              if !e_s <= 0 then
                (* The surplus moved out of S (saturating pushes). *)
                running := false
-             else if !e_s > !out_flux then begin
-               let e', f' = price_rise !e_s !out_flux in
-               e_s := e';
-               out_flux := f'
-             end
+             else if !e_s > !out_flux then price_rise ()
              else begin
                (* Extend S along a balanced crossing arc. Entries going
                   stale (endpoint joined S) surrender their flux here. *)
@@ -314,7 +341,7 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
                    (* Deque empty: true crossing flux is zero. *)
                    out_flux := 0
                | a ->
-                   if in_s.(G.dst g a) then out_flux := !out_flux - G.rescap g a
+                   if in_set (G.dst g a) then out_flux := !out_flux - G.rescap g a
                    else begin
                      let j = G.dst g a in
                      pred.(j) <- a;
@@ -324,11 +351,10 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
                        running := false
                      end
                      else begin
-                       let de, dflux = add_to_s j in
-                       e_s := !e_s + de;
                        (* The popped arc is now internal: remove its
-                          contribution along with the additions. *)
-                       out_flux := !out_flux + dflux - G.rescap g a
+                          contribution; add_to_s accumulates the rest. *)
+                       out_flux := !out_flux - G.rescap g a;
+                       add_to_s j
                      end
                    end
              end
@@ -337,10 +363,10 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
               phase end (idempotent after an augment), and hand surplus
               that moved between members back to the worklist. *)
            commit_rises ();
-           List.iter (fun i -> enqueue_surplus i) !s_members
+           enqueue_members ()
          with e ->
            commit_rises ();
-           List.iter (fun i -> enqueue_surplus i) !s_members;
+           enqueue_members ();
            raise e)
       end
     done;

@@ -23,9 +23,21 @@
     must be traversed per source), which is why Firmament runs relaxation
     from scratch and leaves incrementality to cost scaling. *)
 
+(** Persistent scratch (node-indexed arrays, queues, heap) reused across
+    solves. Arrays grow to the largest node bound seen and are logically
+    cleared by epoch bumps, so a warm solve allocates nothing here. A
+    workspace is single-solve-at-a-time (not thread-safe) but remains
+    valid after a solve that raised or was stopped. *)
+type workspace
+
+val create_workspace : unit -> workspace
+
+(** [solve g] runs RELAX to completion on [g]. Without [?workspace] a
+    fresh one is allocated for the call. *)
 val solve :
   ?stop:Solver_intf.stop ->
   ?incremental:bool ->
   ?arc_prioritization:bool ->
+  ?workspace:workspace ->
   Flowgraph.Graph.t ->
   Solver_intf.stats

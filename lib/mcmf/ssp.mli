@@ -7,7 +7,15 @@
     residual paths (multi-source Dijkstra on reduced costs), updating node
     potentials after each search so reduced costs stay non-negative. *)
 
-val solve : ?stop:Solver_intf.stop -> Flowgraph.Graph.t -> Solver_intf.stats
+(** Persistent Dijkstra scratch (distance/parent/settled arrays and the
+    priority heap) reused across solves; per-round clearing is an epoch
+    bump instead of O(node bound) refills. *)
+type workspace
+
+val create_workspace : unit -> workspace
+
+val solve :
+  ?stop:Solver_intf.stop -> ?workspace:workspace -> Flowgraph.Graph.t -> Solver_intf.stats
 
 (** [establish_optimality g] saturates every residual arc with negative
     reduced cost, establishing reduced-cost optimality for the current

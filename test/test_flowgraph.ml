@@ -14,7 +14,7 @@ let checkb msg = check Alcotest.bool msg
 (* {1 Vec} *)
 
 let test_vec_push_pop () =
-  let v = Vec.create ~dummy:0 in
+  let v = Vec.create ~dummy:0 () in
   for i = 0 to 99 do
     checki "push index" i (Vec.push v i)
   done;
@@ -488,6 +488,126 @@ let test_max_arc_cost () =
   let g, _, _, _, _, _, _ = triangle () in
   checki "max cost" 10 (G.max_arc_cost g)
 
+(* {2 copy_into ≡ copy} *)
+
+(* Observational equality of two graphs: every accessor a solver or the
+   placement extractor uses must agree — bounds, liveness, supplies,
+   excesses, potentials, costs, residual capacities, adjacency and active
+   list {e sequences} (order matters to arc prioritization), and the
+   change counters. *)
+let assert_graphs_identical msg (a : G.t) (b : G.t) =
+  let ctx fmt = Printf.ksprintf (fun s -> msg ^ ": " ^ s) fmt in
+  checki (ctx "node_bound") (G.node_bound a) (G.node_bound b);
+  checki (ctx "node_count") (G.node_count a) (G.node_count b);
+  checki (ctx "arc_bound") (G.arc_bound a) (G.arc_bound b);
+  checki (ctx "arc_count") (G.arc_count a) (G.arc_count b);
+  let list_of first next g n =
+    let rec go acc a = if a < 0 then List.rev acc else go (a :: acc) (next g a) in
+    go [] (first g n)
+  in
+  for n = 0 to G.node_bound a - 1 do
+    checkb (ctx "node %d live" n) (G.node_is_live a n) (G.node_is_live b n);
+    if G.node_is_live a n then begin
+      checki (ctx "supply %d" n) (G.supply a n) (G.supply b n);
+      checki (ctx "excess %d" n) (G.excess a n) (G.excess b n);
+      checki (ctx "potential %d" n) (G.potential a n) (G.potential b n);
+      Alcotest.(check (list int))
+        (ctx "out-list %d" n)
+        (list_of G.first_out G.next_out a n)
+        (list_of G.first_out G.next_out b n);
+      Alcotest.(check (list int))
+        (ctx "active-list %d" n)
+        (list_of G.first_active G.next_active a n)
+        (list_of G.first_active G.next_active b n)
+    end
+  done;
+  for arc = 0 to G.arc_bound a - 1 do
+    checkb (ctx "arc %d live" arc) (G.arc_is_live a arc) (G.arc_is_live b arc);
+    if G.arc_is_live a arc then begin
+      checki (ctx "src %d" arc) (G.src a arc) (G.src b arc);
+      checki (ctx "dst %d" arc) (G.dst a arc) (G.dst b arc);
+      checki (ctx "cost %d" arc) (G.cost a arc) (G.cost b arc);
+      checki (ctx "rescap %d" arc) (G.rescap a arc) (G.rescap b arc)
+    end
+  done;
+  checki (ctx "total_cost") (G.total_cost a) (G.total_cost b);
+  let ca = G.peek_changes a and cb = G.peek_changes b in
+  checkb (ctx "change summary") true (ca = cb)
+
+(* A grab-bag of interesting source graphs: fresh generator output,
+   warm-started (solved, so flows/potentials/active lists are
+   non-trivial), and structurally mutated (removals populate the free
+   lists, additions recycle them). *)
+let copy_into_cases () =
+  let solved inst =
+    ignore (Mcmf.Ssp.solve inst.Flowgraph.Netgen.graph);
+    inst.Flowgraph.Netgen.graph
+  in
+  let mutated () =
+    let inst = Flowgraph.Netgen.transportation ~sources:8 ~sinks:6 ~seed:5 () in
+    let g = inst.Flowgraph.Netgen.graph in
+    ignore (Mcmf.Ssp.solve g);
+    (* Remove some arcs and a node, then add replacements so free lists
+       are partially recycled and excesses are non-trivial. *)
+    let arcs = ref [] in
+    G.iter_arcs g (fun a -> arcs := a :: !arcs);
+    List.iteri (fun i a -> if i mod 5 = 0 then G.remove_arc g a) !arcs;
+    (match List.filter (G.node_is_live g) inst.Flowgraph.Netgen.sinks with
+    | n :: _ -> G.remove_node g n
+    | [] -> ());
+    let live = ref [] in
+    G.iter_nodes g (fun n -> live := n :: !live);
+    (match !live with
+    | x :: y :: _ -> ignore (G.add_arc g ~src:x ~dst:y ~cost:3 ~cap:7)
+    | _ -> ());
+    g
+  in
+  [
+    ( "transportation",
+      (Flowgraph.Netgen.transportation ~sources:12 ~sinks:9 ~seed:1 ()).Flowgraph.Netgen.graph
+    );
+    ("grid solved", solved (Flowgraph.Netgen.grid ~width:6 ~height:5 ~seed:2 ()));
+    ( "scheduling solved",
+      solved (Flowgraph.Netgen.scheduling ~tasks:40 ~machines:10 ~seed:3 ()) );
+    ("mutated", mutated ());
+    ("empty", G.create ());
+  ]
+
+let test_copy_into_matches_copy () =
+  List.iter
+    (fun (name, src) ->
+      (* Into a fresh empty destination... *)
+      let dst = G.create () in
+      G.copy_into dst src;
+      assert_graphs_identical (name ^ " into empty") (G.copy src) dst;
+      (* ...and into a warm destination that already held a different,
+         larger graph (the shrink case: dst's vecs must truncate). *)
+      let big =
+        (Flowgraph.Netgen.transportation ~sources:30 ~sinks:25 ~seed:99 ())
+          .Flowgraph.Netgen.graph
+      in
+      let dst2 = G.copy big in
+      G.copy_into dst2 src;
+      assert_graphs_identical (name ^ " shrink") (G.copy src) dst2;
+      (* The copy is independent: mutating dst must not touch src. *)
+      let before = G.copy src in
+      (match
+         let acc = ref [] in
+         G.iter_nodes dst2 (fun n -> acc := n :: !acc);
+         !acc
+       with
+      | n :: _ -> G.set_supply dst2 n (G.supply dst2 n + 5)
+      | [] -> ());
+      assert_graphs_identical (name ^ " src untouched") before src)
+    (copy_into_cases ())
+
+let test_copy_into_self_noop () =
+  let inst = Flowgraph.Netgen.grid ~width:4 ~height:4 ~seed:7 () in
+  let g = inst.Flowgraph.Netgen.graph in
+  let snapshot = G.copy g in
+  G.copy_into g g;
+  assert_graphs_identical "self copy_into" snapshot g
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -543,5 +663,11 @@ let () =
         :: Alcotest.test_case "copy independence" `Quick test_copy_is_independent
         :: Alcotest.test_case "max arc cost" `Quick test_max_arc_cost
         :: qcheck [ prop_active_list_matches_rescap ] );
+      ( "copy-into",
+        [
+          Alcotest.test_case "matches copy (fresh/warm/mutated/shrink)" `Quick
+            test_copy_into_matches_copy;
+          Alcotest.test_case "self copy is a no-op" `Quick test_copy_into_self_noop;
+        ] );
       ("properties", qcheck [ prop_excess_conservation; prop_flow_conservation ]);
     ]

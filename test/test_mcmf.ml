@@ -620,6 +620,70 @@ let test_race_incremental_sequence () =
     checkb "optimal each round" true (Validate.is_optimal !g)
   done
 
+let test_race_recycle_rounds_stay_optimal () =
+  (* The scheduler's steady-state protocol: adopt the winner's graph, hand
+     the displaced one back through [recycle], mutate, solve again. Rounds
+     after the first reuse scratch slots via [copy_into]; every one must
+     still be optimal and agree with a from-scratch reference solve. *)
+  let race = Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential () in
+  let g = ref (diamond ()) in
+  for i = 1 to 8 do
+    Mcmf.Race.prepare race !g;
+    let r = Mcmf.Race.solve race !g in
+    Alcotest.check outcome_t "optimal" S.Optimal r.Mcmf.Race.stats.S.outcome;
+    let old = !g in
+    g := r.Mcmf.Race.graph;
+    if old != !g then Mcmf.Race.recycle race old;
+    checkb "round optimal" true (Validate.is_optimal !g);
+    let reference = G.copy !g in
+    G.reset_flow reference;
+    ignore (Mcmf.Ssp.solve reference);
+    checki "matches scratch reference" (G.total_cost reference) (G.total_cost !g);
+    (* Perturb one arc cost so the next round has real work. *)
+    let some_arc = ref (-1) in
+    G.iter_arcs !g (fun a -> if !some_arc < 0 then some_arc := a);
+    G.set_cost !g !some_arc (1 + ((i * 3) mod 7))
+  done
+
+let test_race_handed_out_graph_never_clobbered () =
+  (* A result graph the caller has NOT recycled must stay untouched by
+     later rounds: its slot is empty, so subsequent solves may not write
+     into it. (This is what lets the scheduler keep reading placements
+     while the next round runs.) *)
+  let race = Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential () in
+  let r1 = Mcmf.Race.solve race (diamond ()) in
+  let kept = r1.Mcmf.Race.graph in
+  let cost1 = G.total_cost kept in
+  checki "first round optimal cost" diamond_optimal_cost cost1;
+  (* Run several further rounds on other instances without recycling. *)
+  for seed = 1 to 3 do
+    let inst = Flowgraph.Netgen.transportation ~sources:6 ~sinks:5 ~seed () in
+    let r = Mcmf.Race.solve race inst.Flowgraph.Netgen.graph in
+    checkb "later result is a different graph" true (r.Mcmf.Race.graph != kept)
+  done;
+  checki "kept graph unchanged" cost1 (G.total_cost kept);
+  checkb "kept graph still optimal" true (Validate.is_optimal kept);
+  (* Once recycled, the slot may be reused... *)
+  Mcmf.Race.recycle race kept;
+  Mcmf.Race.recycle race kept;
+  (* ...and double-recycle above must have been a harmless no-op: a round
+     solved now still takes two distinct working copies. *)
+  let r = Mcmf.Race.solve race (diamond ()) in
+  checki "post-recycle round optimal" diamond_optimal_cost
+    (G.total_cost r.Mcmf.Race.graph)
+
+let test_race_recycling_input_is_rejected () =
+  (* Recycling the live input graph must not let a later [take] alias it:
+     the slot guards compare physically against the input. *)
+  let race = Mcmf.Race.create ~mode:Mcmf.Race.Relaxation_only () in
+  let g = diamond () in
+  Mcmf.Race.recycle race g;
+  let r = Mcmf.Race.solve race g in
+  checkb "working copy is not the input" true (r.Mcmf.Race.graph != g);
+  checki "still optimal" diamond_optimal_cost (G.total_cost r.Mcmf.Race.graph);
+  (* The input keeps its zero flow: the solver worked on a copy. *)
+  checki "input untouched" 0 (G.total_cost g)
+
 (* {1 Degraded outcomes: infeasible and stopped races} *)
 
 let all_race_modes =
@@ -880,6 +944,12 @@ let () =
           Alcotest.test_case "incremental sequence" `Quick test_race_incremental_sequence;
           Alcotest.test_case "prepare no-op without cost scaling" `Quick
             test_race_prepare_noop_without_cost_scaling;
+          Alcotest.test_case "recycled rounds stay optimal" `Quick
+            test_race_recycle_rounds_stay_optimal;
+          Alcotest.test_case "handed-out graph never clobbered" `Quick
+            test_race_handed_out_graph_never_clobbered;
+          Alcotest.test_case "recycling the input is rejected" `Quick
+            test_race_recycling_input_is_rejected;
         ] );
       ( "degradation",
         Alcotest.test_case "infeasible returns untouched input" `Quick
