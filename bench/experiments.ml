@@ -759,7 +759,21 @@ let alloc ~scale () =
       "solver-only (warm)"; pp t_mean; pp t_p50; pp t_p99;
       Printf.sprintf "%.0f B" b_mean;
     ];
-  (* Full scheduler rounds with light churn. *)
+  (* Full scheduler rounds with light churn. Telemetry phase histograms
+     are sampled before/after the loop; the delta of each phase's sum
+     divided by the round count gives phase-level means for the JSON. *)
+  let reg = Telemetry.Metrics.global () in
+  let phase_metrics =
+    List.filter_map
+      (fun phase ->
+        Option.map
+          (fun id -> (phase, id))
+          (Telemetry.Metrics.find reg ("sched_phase_" ^ phase ^ "_ns")))
+      [ "refresh"; "solve"; "adopt"; "extract"; "prepare"; "apply" ]
+  in
+  let phase_sum0 =
+    List.map (fun (p, id) -> (p, Telemetry.Metrics.hist_sum reg id)) phase_metrics
+  in
   let rounds2 = 20 in
   let times2 = ref [] and bytes2 = ref [] in
   for i = 1 to rounds2 do
@@ -771,6 +785,14 @@ let alloc ~scale () =
     times2 := (Unix.gettimeofday () -. t0) :: !times2;
     bytes2 := (Gc.allocated_bytes () -. b0) :: !bytes2
   done;
+  let phase_means =
+    List.map
+      (fun (p, id) ->
+        let s0 = List.assoc p phase_sum0 in
+        let d = Telemetry.Metrics.hist_sum reg id - s0 in
+        (p, float_of_int d *. 1e-9 /. float_of_int rounds2))
+      phase_metrics
+  in
   let t2_mean, t2_p50, t2_p99 = stats_of !times2 in
   let b2_mean, _, _ = stats_of !bytes2 in
   row
@@ -780,19 +802,23 @@ let alloc ~scale () =
     ];
   Printf.printf "machines: %d, rounds/sec (full, mean): %.1f\n" machines
     (1. /. Float.max 1e-9 t2_mean);
+  List.iter
+    (fun (p, mean) -> Printf.printf "  phase %-8s mean %s\n" p (pp mean))
+    phase_means;
   Json_out.record ~experiment:"alloc" ~scale
-    [
-      ("machines", float_of_int machines);
-      ("solver_mean_s", t_mean);
-      ("solver_p50_s", t_p50);
-      ("solver_p99_s", t_p99);
-      ("solver_alloc_bytes", b_mean);
-      ("round_mean_s", t2_mean);
-      ("round_p50_s", t2_p50);
-      ("round_p99_s", t2_p99);
-      ("round_alloc_bytes", b2_mean);
-      ("rounds_per_sec", 1. /. Float.max 1e-9 t2_mean);
-    ]
+    ([
+       ("machines", float_of_int machines);
+       ("solver_mean_s", t_mean);
+       ("solver_p50_s", t_p50);
+       ("solver_p99_s", t_p99);
+       ("solver_alloc_bytes", b_mean);
+       ("round_mean_s", t2_mean);
+       ("round_p50_s", t2_p50);
+       ("round_p99_s", t2_p99);
+       ("round_alloc_bytes", b2_mean);
+       ("rounds_per_sec", 1. /. Float.max 1e-9 t2_mean);
+     ]
+    @ List.map (fun (p, mean) -> ("phase_" ^ p ^ "_mean_s", mean)) phase_means)
 
 (* {1 Registry} *)
 

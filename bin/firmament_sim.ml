@@ -22,7 +22,35 @@ let mode_conv =
         ("quincy-cs", Cost_scaling_scratch_only);
       ]
 
-let run machines util horizon speedup seed policy mode max_rounds deadline =
+(* Exporter plumbing for --metrics-out / --metrics-json / --metrics-summary:
+   dump the global telemetry registry after the replay. *)
+let with_out path f =
+  match path with
+  | "-" ->
+      f Format.std_formatter;
+      Format.pp_print_flush Format.std_formatter ()
+  | _ ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let ppf = Format.formatter_of_out_channel oc in
+          f ppf;
+          Format.pp_print_flush ppf ())
+
+let export_metrics metrics_out metrics_json metrics_summary =
+  let reg = Telemetry.Metrics.global () in
+  Option.iter (fun p -> with_out p (fun ppf -> Telemetry.Export.prometheus ppf reg)) metrics_out;
+  Option.iter (fun p -> with_out p (fun ppf -> Telemetry.Export.json_lines ppf reg)) metrics_json;
+  if metrics_summary then begin
+    Printf.printf "\ntelemetry:\n%!";
+    Format.printf "%a@."
+      (Telemetry.Export.pp_summary ~pp_duration:Dcsim.Stats.pp_duration)
+      reg
+  end
+
+let run machines util horizon speedup seed policy mode max_rounds deadline metrics_out
+    metrics_json metrics_summary =
   let trace =
     Cluster.Trace.generate
       {
@@ -70,7 +98,8 @@ let run machines util horizon speedup seed policy mode max_rounds deadline =
   in
   series "algorithm runtime" m.algorithm_runtimes;
   series "placement latency" m.placement_latencies;
-  series "task response time" m.response_times
+  series "task response time" m.response_times;
+  export_metrics metrics_out metrics_json metrics_summary
 
 let cmd =
   let machines =
@@ -117,11 +146,34 @@ let cmd =
             "Per-round wall-clock deadline. A round that exceeds it degrades to \
              best-effort partial placement instead of running long.")
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write end-of-run telemetry (round phases, solver race margins, \
+             \xCE\xB5-phase work, graph-change batches) in Prometheus text exposition \
+             format to $(docv) ($(b,-) for stdout).")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write end-of-run telemetry as JSON lines to $(docv) ($(b,-) for stdout).")
+  in
+  let metrics_summary =
+    Arg.(
+      value & flag
+      & info [ "metrics-summary" ]
+          ~doc:"Print a human-readable telemetry summary after the replay report.")
+  in
   let doc = "replay a synthetic cluster trace against the Firmament scheduler" in
   Cmd.v
     (Cmd.info "firmament_sim" ~doc)
     Term.(
       const run $ machines $ util $ horizon $ speedup $ seed $ policy $ mode $ max_rounds
-      $ deadline)
+      $ deadline $ metrics_out $ metrics_json $ metrics_summary)
 
 let () = exit (Cmd.eval cmd)

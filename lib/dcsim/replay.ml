@@ -1,5 +1,29 @@
 module W = Cluster.Workload
 
+(* Telemetry ids, registered once at module init. *)
+let m = Telemetry.Metrics.global ()
+
+let m_rounds =
+  Telemetry.Metrics.counter m ~help:"metered replay rounds driven"
+    "dcsim_rounds_total"
+
+let m_warmup =
+  Telemetry.Metrics.counter m ~help:"unmetered warm-up rounds at replay start"
+    "dcsim_warmup_rounds_total"
+
+let m_events_applied =
+  Telemetry.Metrics.counter m ~help:"trace events applied" "dcsim_events_applied_total"
+
+let m_events_stale =
+  Telemetry.Metrics.counter m
+    ~help:"trace events dropped as stale (epoch mismatch, dead machine)"
+    "dcsim_events_stale_total"
+
+let m_idle_jumps =
+  Telemetry.Metrics.counter m
+    ~help:"times the replay fast-forwarded to the next event"
+    "dcsim_idle_jumps_total"
+
 type config = {
   scheduler : Firmament.Scheduler.config;
   policy :
@@ -78,6 +102,7 @@ let run_with ?(config = default_config) ~trace ~on_round () =
     trace.Cluster.Trace.initial_jobs;
   let rec warmup i =
     if i < 10 && Cluster.State.waiting_count cluster > 0 then begin
+      Telemetry.Metrics.incr m m_warmup;
       let round = Firmament.Scheduler.schedule sched ~now:0. in
       List.iter
         (fun (tid, _m) ->
@@ -89,7 +114,7 @@ let run_with ?(config = default_config) ~trace ~on_round () =
     end
   in
   warmup 0;
-  let apply (time, ev) =
+  let apply_event (time, ev) =
     match ev with
     | Job_submit job ->
         Firmament.Scheduler.submit_job sched job;
@@ -120,6 +145,11 @@ let run_with ?(config = default_config) ~trace ~on_round () =
         end
         else false
   in
+  let apply ev =
+    let applied = apply_event ev in
+    Telemetry.Metrics.incr m (if applied then m_events_applied else m_events_stale);
+    applied
+  in
   let schedule_finish tid ~start =
     let task = Cluster.State.task cluster tid in
     Cluster.Event_queue.add events
@@ -139,6 +169,7 @@ let run_with ?(config = default_config) ~trace ~on_round () =
     if !needs_round || Cluster.State.waiting_count cluster > 0 then begin
       let round = Firmament.Scheduler.schedule sched ~now:!sim in
       incr rounds;
+      Telemetry.Metrics.incr m m_rounds;
       (match round.Firmament.Scheduler.degraded with
       | `None -> ()
       | `Partial -> incr partial_rounds
@@ -181,12 +212,14 @@ let run_with ?(config = default_config) ~trace ~on_round () =
       needs_round := false;
       if (not progressed) && not changed then begin
         (* Nothing placeable right now: jump to the next event. *)
+        Telemetry.Metrics.incr m m_idle_jumps;
         match Cluster.Event_queue.peek_time events with
         | Some te -> sim := Float.max !sim te
         | None -> running := false
       end
     end
     else begin
+      Telemetry.Metrics.incr m m_idle_jumps;
       match Cluster.Event_queue.peek_time events with
       | Some te -> sim := Float.max !sim te
       | None -> running := false

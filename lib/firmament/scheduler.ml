@@ -4,6 +4,94 @@ let log = Logs.Src.create "firmament.scheduler" ~doc:"Firmament scheduling round
 
 module Log = (val Logs.src_log log)
 
+(* Telemetry ids, registered once at module init. Round phases are
+   measured with contiguous checkpoints (each phase starts where the
+   previous ended), so the per-phase durations of a round sum exactly to
+   its wall time — that is what lets a deadline-bounded [`Partial] round
+   show where the budget went. *)
+let m = Telemetry.Metrics.global ()
+let tr = Telemetry.Trace.global ()
+
+let m_rounds =
+  Telemetry.Metrics.counter m ~help:"scheduling rounds run" "sched_rounds_total"
+
+let m_rounds_partial =
+  Telemetry.Metrics.counter m ~help:"rounds degraded to partial (deadline hit)"
+    "sched_rounds_partial_total"
+
+let m_rounds_failed =
+  Telemetry.Metrics.counter m ~help:"rounds failed (infeasible after scratch retry)"
+    "sched_rounds_failed_total"
+
+let m_rounds_retried =
+  Telemetry.Metrics.counter m ~help:"rounds that needed the from-scratch retry"
+    "sched_rounds_retried_total"
+
+let m_started =
+  Telemetry.Metrics.counter m ~help:"task starts committed" "sched_tasks_started_total"
+
+let m_migrated =
+  Telemetry.Metrics.counter m ~help:"task migrations committed"
+    "sched_tasks_migrated_total"
+
+let m_preempted =
+  Telemetry.Metrics.counter m ~help:"task preemptions committed"
+    "sched_tasks_preempted_total"
+
+let m_unscheduled =
+  Telemetry.Metrics.gauge m ~help:"tasks left waiting after the latest round"
+    "sched_unscheduled_tasks"
+
+let m_round_ns =
+  Telemetry.Metrics.histogram m ~help:"whole-round wall time (ns)" "sched_round_ns"
+
+let m_refresh_ns =
+  Telemetry.Metrics.histogram m ~help:"policy-refresh phase (ns)" "sched_phase_refresh_ns"
+
+let m_solve_ns =
+  Telemetry.Metrics.histogram m ~help:"solve phase incl. infeasibility retry (ns)"
+    "sched_phase_solve_ns"
+
+let m_adopt_ns =
+  Telemetry.Metrics.histogram m ~help:"graph adoption phase (swap + recycle) (ns)"
+    "sched_phase_adopt_ns"
+
+let m_extract_ns =
+  Telemetry.Metrics.histogram m ~help:"placement extraction phase (ns)"
+    "sched_phase_extract_ns"
+
+let m_prepare_ns =
+  Telemetry.Metrics.histogram m ~help:"price-refine preparation phase (ns)"
+    "sched_phase_prepare_ns"
+
+let m_apply_ns =
+  Telemetry.Metrics.histogram m ~help:"placement-diff application phase (ns)"
+    "sched_phase_apply_ns"
+
+(* Graph-change batch applied since the previous round's solve. *)
+let m_chg_structural =
+  Telemetry.Metrics.counter m ~help:"structural graph changes applied"
+    "sched_graph_structural_changes_total"
+
+let m_chg_cost =
+  Telemetry.Metrics.counter m ~help:"arc cost changes applied"
+    "sched_graph_cost_changes_total"
+
+let m_chg_capacity =
+  Telemetry.Metrics.counter m ~help:"arc capacity changes applied"
+    "sched_graph_capacity_changes_total"
+
+let m_chg_supply =
+  Telemetry.Metrics.counter m ~help:"node supply changes applied"
+    "sched_graph_supply_changes_total"
+
+let t_refresh = Telemetry.Trace.register tr "sched.refresh"
+let t_solve = Telemetry.Trace.register tr "sched.solve"
+let t_adopt = Telemetry.Trace.register tr "sched.adopt"
+let t_extract = Telemetry.Trace.register tr "sched.extract"
+let t_prepare = Telemetry.Trace.register tr "sched.prepare"
+let t_apply = Telemetry.Trace.register tr "sched.apply"
+
 type config = {
   mode : Mcmf.Race.mode;
   alpha : int;
@@ -43,6 +131,7 @@ type round = {
     (Cluster.Types.task_id * Cluster.Types.machine_id * Cluster.Types.machine_id) list;
   preempted : Cluster.Types.task_id list;
   unscheduled : int;
+  phase_ns : (string * int) list;
 }
 
 type t = {
@@ -52,6 +141,10 @@ type t = {
   policy : Policy.t;
   race : Mcmf.Race.t;
   assigned : (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t;
+  (* Change-summary totals at the previous solve, for per-round deltas
+     (the summary on the graph accumulates; nobody may reset it here —
+     incremental solvers read it through their own channel). *)
+  mutable last_changes : Flowgraph.Graph.change_summary;
 }
 
 let create ?(config = default_config) cluster ~policy =
@@ -74,6 +167,7 @@ let create ?(config = default_config) cluster ~policy =
       Mcmf.Race.create ~alpha:config.alpha ~price_refine:config.price_refine
         ~mode:config.mode ();
     assigned = Hashtbl.create 1024;
+    last_changes = Flowgraph.Graph.peek_changes (FN.graph net);
   }
 
 let network t = t.net
@@ -120,6 +214,9 @@ let commit_partial t ~now partial_graph =
         FN.set_graph t.net partial_graph;
         Placement.extract_partial t.net)
   in
+  (* Phase boundary between extraction and application, reported to the
+     caller so [`Partial] rounds attribute their budget too. *)
+  let t_extracted = Telemetry.Clock.now_ns () in
   let starts = ref [] in
   List.iter
     (fun { Placement.task; machine } ->
@@ -134,10 +231,30 @@ let commit_partial t ~now partial_graph =
           starts := (task, m) :: !starts
       | _ -> ())
     placements;
-  List.rev !starts
+  (List.rev !starts, t_extracted)
+
+(* Per-round delta of the graph's cumulative change summary. Clamped at
+   zero: adopting a different graph object can lower the totals. *)
+let record_changes t =
+  let open Flowgraph.Graph in
+  let s = peek_changes (FN.graph t.net) in
+  let prev = t.last_changes in
+  let d a b = max 0 (a - b) in
+  Telemetry.Metrics.add m m_chg_structural (d s.structural prev.structural);
+  Telemetry.Metrics.add m m_chg_cost (d s.cost_changes prev.cost_changes);
+  Telemetry.Metrics.add m m_chg_capacity (d s.capacity_changes prev.capacity_changes);
+  Telemetry.Metrics.add m m_chg_supply (d s.supply_changes prev.supply_changes);
+  t.last_changes <- s
 
 let schedule ?stop t ~now =
+  Telemetry.Metrics.incr m m_rounds;
+  Telemetry.Trace.new_round tr;
+  let ck0 = Telemetry.Clock.now_ns () in
   t.policy.Policy.refresh ~now;
+  let ck1 = Telemetry.Clock.now_ns () in
+  Telemetry.Trace.span tr ~phase:t_refresh ~t0:ck0 ~t1:ck1;
+  Telemetry.Metrics.observe m m_refresh_ns (ck1 - ck0);
+  record_changes t;
   (* The round deadline covers the whole round, retry included: the stop
      predicate is armed here and shared by every solve below. *)
   let stop =
@@ -157,6 +274,22 @@ let schedule ?stop t ~now =
         (Mcmf.Race.solve ~stop ~scratch:true t.race (FN.graph t.net), true)
     | Mcmf.Solver_intf.Optimal | Mcmf.Solver_intf.Stopped -> (first, false)
   in
+  let ck2 = Telemetry.Clock.now_ns () in
+  Telemetry.Trace.span tr ~phase:t_solve ~t0:ck1 ~t1:ck2;
+  Telemetry.Metrics.observe m m_solve_ns (ck2 - ck1);
+  if retried then Telemetry.Metrics.incr m m_rounds_retried;
+  (* Close the round: shared metric recording plus the contiguous phase
+     list ([("refresh", …); ("solve", …); branch phases]) whose durations
+     sum to the round's wall time by construction. *)
+  let close_round ~tail r =
+    let t_end = match tail with [] -> ck2 | _ -> ck2 + List.fold_left (fun acc (_, d) -> acc + d) 0 tail in
+    Telemetry.Metrics.observe m m_round_ns (t_end - ck0);
+    Telemetry.Metrics.add m m_started (List.length r.started);
+    Telemetry.Metrics.add m m_migrated (List.length r.migrated);
+    Telemetry.Metrics.add m m_preempted (List.length r.preempted);
+    Telemetry.Metrics.set m m_unscheduled r.unscheduled;
+    { r with phase_ns = ("refresh", ck1 - ck0) :: ("solve", ck2 - ck1) :: tail }
+  in
   let algorithm_runtime =
     result.Mcmf.Race.stats.Mcmf.Solver_intf.runtime
     +. (if retried then first.Mcmf.Race.stats.Mcmf.Solver_intf.runtime else 0.)
@@ -173,6 +306,7 @@ let schedule ?stop t ~now =
       migrated = [];
       preempted = [];
       unscheduled = 0;
+      phase_ns = [];
     }
   in
   match result.Mcmf.Race.stats.Mcmf.Solver_intf.outcome with
@@ -180,44 +314,67 @@ let schedule ?stop t ~now =
       (* Both attempts infeasible: report a failed round, keep the
          pre-round graph (Race returned it untouched) so the next round
          starts from coherent state. *)
+      Telemetry.Metrics.incr m m_rounds_failed;
       Log.warn (fun m ->
           m "round@%.3f failed: infeasible after scratch retry; %d tasks left waiting" now
             (Cluster.State.waiting_count t.cluster));
-      { base with degraded = `Failed; unscheduled = Cluster.State.waiting_count t.cluster }
+      let unscheduled = Cluster.State.waiting_count t.cluster in
+      let ck3 = Telemetry.Clock.now_ns () in
+      Telemetry.Trace.span tr ~phase:t_apply ~t0:ck2 ~t1:ck3;
+      Telemetry.Metrics.observe m m_apply_ns (ck3 - ck2);
+      close_round
+        ~tail:[ ("apply", ck3 - ck2) ]
+        { base with degraded = `Failed; unscheduled }
   | Mcmf.Solver_intf.Stopped ->
       (* Deadline hit: the canonical graph stays at the pre-round warm
          start; the stopped solver's pseudoflow is only read for
          best-effort placements. *)
-      let started =
+      Telemetry.Metrics.incr m m_rounds_partial;
+      let started, ext_end =
         match result.Mcmf.Race.partial with
         | Some pg ->
-            let starts = commit_partial t ~now pg in
+            let starts, te = commit_partial t ~now pg in
             (* The pseudoflow has been consumed; let the next round reuse
                its storage. *)
             Mcmf.Race.recycle t.race pg;
-            starts
-        | None -> []
+            (starts, te)
+        | None -> ([], ck2)
       in
       Log.debug (fun m ->
           m "round@%.3f degraded to partial: %d best-effort starts, %d waiting" now
             (List.length started)
             (Cluster.State.waiting_count t.cluster));
-      {
-        base with
-        degraded = `Partial;
-        started;
-        unscheduled = Cluster.State.waiting_count t.cluster;
-      }
+      let unscheduled = Cluster.State.waiting_count t.cluster in
+      let ck3 = Telemetry.Clock.now_ns () in
+      Telemetry.Trace.span tr ~phase:t_extract ~t0:ck2 ~t1:ext_end;
+      Telemetry.Trace.span tr ~phase:t_apply ~t0:ext_end ~t1:ck3;
+      Telemetry.Metrics.observe m m_extract_ns (ext_end - ck2);
+      Telemetry.Metrics.observe m m_apply_ns (ck3 - ext_end);
+      close_round
+        ~tail:[ ("extract", ext_end - ck2); ("apply", ck3 - ext_end) ]
+        { base with degraded = `Partial; started; unscheduled }
   | Mcmf.Solver_intf.Optimal ->
       let replaced = FN.graph t.net in
       FN.set_graph t.net result.Mcmf.Race.graph;
       (* Swap-on-optimal: the displaced canonical graph becomes the next
          round's scratch copy instead of garbage. *)
       Mcmf.Race.recycle t.race replaced;
+      (* The adopted graph carries its own cumulative summary; re-sync the
+         delta baseline so the next round doesn't misattribute. *)
+      t.last_changes <- Flowgraph.Graph.peek_changes (FN.graph t.net);
+      let ck3 = Telemetry.Clock.now_ns () in
+      Telemetry.Trace.span tr ~phase:t_adopt ~t0:ck2 ~t1:ck3;
+      Telemetry.Metrics.observe m m_adopt_ns (ck3 - ck2);
       let placements = Placement.extract t.net in
+      let ck4 = Telemetry.Clock.now_ns () in
+      Telemetry.Trace.span tr ~phase:t_extract ~t0:ck3 ~t1:ck4;
+      Telemetry.Metrics.observe m m_extract_ns (ck4 - ck3);
       (* Price refine runs on the untouched optimal solution, before the
          placement diff mutates the graph (paper §6.2). *)
       Mcmf.Race.prepare t.race (FN.graph t.net);
+      let ck5 = Telemetry.Clock.now_ns () in
+      Telemetry.Trace.span tr ~phase:t_prepare ~t0:ck4 ~t1:ck5;
+      Telemetry.Metrics.observe m m_prepare_ns (ck5 - ck4);
       let starts = ref [] and migrations = ref [] and preempts = ref [] in
       let unscheduled = ref 0 in
       List.iter
@@ -258,13 +415,24 @@ let schedule ?stop t ~now =
             | Mcmf.Race.Cost_scaling -> "cost scaling")
             base.algorithm_runtime (List.length !starts) (List.length !migrations)
             (List.length !preempts) !unscheduled);
-      {
-        base with
-        degraded = (if retried then `Infeasible_retry else `None);
-        started = List.rev !starts;
-        migrated = List.rev !migrations;
-        preempted = List.rev !preempts;
-        unscheduled = !unscheduled;
-      }
+      let ck6 = Telemetry.Clock.now_ns () in
+      Telemetry.Trace.span tr ~phase:t_apply ~t0:ck5 ~t1:ck6;
+      Telemetry.Metrics.observe m m_apply_ns (ck6 - ck5);
+      close_round
+        ~tail:
+          [
+            ("adopt", ck3 - ck2);
+            ("extract", ck4 - ck3);
+            ("prepare", ck5 - ck4);
+            ("apply", ck6 - ck5);
+          ]
+        {
+          base with
+          degraded = (if retried then `Infeasible_retry else `None);
+          started = List.rev !starts;
+          migrated = List.rev !migrations;
+          preempted = List.rev !preempts;
+          unscheduled = !unscheduled;
+        }
 
 let assignments t = t.assigned

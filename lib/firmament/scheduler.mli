@@ -71,6 +71,15 @@ type round = {
       (** (task, from, to) *)
   preempted : Cluster.Types.task_id list;
   unscheduled : int;  (** live tasks left waiting by this round *)
+  phase_ns : (string * int) list;
+      (** where the round's wall time went, as [(phase, nanoseconds)] in
+          execution order. Phases are measured with contiguous monotonic
+          checkpoints, so the durations sum to the round's wall time
+          exactly. Always starts [("refresh", _); ("solve", _)]; an
+          optimal round continues [adopt; extract; prepare; apply], a
+          [`Partial] round [extract; apply], a [`Failed] round [apply] —
+          which is what shows where a deadline-bounded round actually
+          spent its budget. *)
 }
 
 type t

@@ -1,5 +1,40 @@
 module G = Flowgraph.Graph
 
+(* Telemetry ids, registered once at module init (ids are ints; the
+   hot-path record calls below are plain array writes). *)
+let m = Telemetry.Metrics.global ()
+let tr = Telemetry.Trace.global ()
+
+let m_solves =
+  Telemetry.Metrics.counter m ~help:"cost-scaling solves started"
+    "mcmf_cost_scaling_solves_total"
+
+let m_phases =
+  Telemetry.Metrics.counter m ~help:"epsilon phases (refine passes) run"
+    "mcmf_cost_scaling_phases_total"
+
+let m_pushes =
+  Telemetry.Metrics.counter m ~help:"pushes across all epsilon phases"
+    "mcmf_cost_scaling_pushes_total"
+
+let m_relabels =
+  Telemetry.Metrics.counter m ~help:"relabels across all epsilon phases"
+    "mcmf_cost_scaling_relabels_total"
+
+let m_phase_ns =
+  Telemetry.Metrics.histogram m ~help:"per-epsilon-phase wall time (ns)"
+    "mcmf_cost_scaling_phase_ns"
+
+let m_phase_pushes =
+  Telemetry.Metrics.histogram m ~help:"pushes per epsilon phase"
+    "mcmf_cost_scaling_phase_pushes"
+
+let m_phase_relabels =
+  Telemetry.Metrics.histogram m ~help:"relabels per epsilon phase"
+    "mcmf_cost_scaling_phase_relabels"
+
+let t_phase = Telemetry.Trace.register tr "cost_scaling.eps_phase"
+
 (* Besides the ε-scale carried across runs, the state owns the solver's
    persistent workspace: node-indexed scratch reused by every [refine] of
    every solve. [in_queue] is epoch-stamped (= queue_epoch iff queued) so
@@ -65,14 +100,34 @@ let ensure_scale st g =
    Price_refine when handed ~scale). *)
 
 let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
+  Telemetry.Metrics.incr m m_solves;
   let s = ensure_scale st g in
   let pushes = ref 0 in
   let relabels = ref 0 in
   let iterations = ref 0 in
+  (* ε-phase bookkeeping, hoisted so a phase cut short by Stop or
+     Infeasible is still recorded (closed from [finish]). *)
+  let phase_open = ref false in
+  let phase_t0 = ref 0 in
+  let phase_p0 = ref 0 in
+  let phase_r0 = ref 0 in
+  let end_phase () =
+    if !phase_open then begin
+      phase_open := false;
+      let t1 = Telemetry.Clock.now_ns () in
+      Telemetry.Metrics.observe m m_phase_ns (t1 - !phase_t0);
+      Telemetry.Metrics.observe m m_phase_pushes (!pushes - !phase_p0);
+      Telemetry.Metrics.observe m m_phase_relabels (!relabels - !phase_r0);
+      Telemetry.Trace.span tr ~phase:t_phase ~t0:!phase_t0 ~t1
+    end
+  in
   let finish outcome =
+    end_phase ();
+    Telemetry.Metrics.add m m_pushes !pushes;
+    Telemetry.Metrics.add m m_relabels !relabels;
     Solver_intf.stats ~iterations:!iterations ~pushes:!pushes ~relabels:!relabels outcome
-      (Unix.gettimeofday () -. t0)
+      (Telemetry.Clock.s_of_ns (Telemetry.Clock.now_ns () - t0))
   in
   if not incremental then G.reset_flow g;
   let bound = max 1 (G.node_bound g) in
@@ -135,6 +190,12 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
   in
   let refine eps =
     incr iterations;
+    Telemetry.Metrics.incr m m_phases;
+    end_phase ();
+    phase_open := true;
+    phase_t0 := Telemetry.Clock.now_ns ();
+    phase_p0 := !pushes;
+    phase_r0 := !relabels;
     if stop () then raise Solver_intf.Stop;
     (* Make the pseudoflow 0-optimal at current prices. Both directions
        are checked inline — an inner [let fix a = ...] helper would be a

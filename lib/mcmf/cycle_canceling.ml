@@ -70,7 +70,7 @@ let cancel g arcs =
   else false
 
 let solve ?(stop = Solver_intf.never_stop) g =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
   let bound = max 1 (G.node_bound g) in
   let parent = Array.make bound (-1) in
   let dist = Array.make bound 0 in
@@ -78,7 +78,7 @@ let solve ?(stop = Solver_intf.never_stop) g =
   let pushes = ref 0 in
   let finish outcome =
     Solver_intf.stats ~iterations:!iterations ~pushes:!pushes outcome
-      (Unix.gettimeofday () -. t0)
+      (Telemetry.Clock.s_of_ns (Telemetry.Clock.now_ns () - t0))
   in
   if not (Max_flow.route ~stop g) then
     if stop () then finish Solver_intf.Stopped else finish Solver_intf.Infeasible

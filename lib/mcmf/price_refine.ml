@@ -102,8 +102,31 @@ let run_spfa ~scale ws g =
   if !ok then G.iter_nodes g (fun v -> G.set_potential g v (- dist.(v)));
   !ok
 
+let m = Telemetry.Metrics.global ()
+
+let m_certified =
+  Telemetry.Metrics.counter m
+    ~help:"price-refine runs resolved by the certified rescale fast path"
+    "mcmf_price_refine_certified_total"
+
+let m_spfa_ok =
+  Telemetry.Metrics.counter m
+    ~help:"price-refine SPFA runs that produced valid potentials"
+    "mcmf_price_refine_spfa_ok_total"
+
+let m_spfa_fail =
+  Telemetry.Metrics.counter m
+    ~help:"price-refine SPFA runs aborted on a negative residual cycle"
+    "mcmf_price_refine_spfa_fail_total"
+
 let run ?(scale = 1) ?workspace g =
-  if rescale_if_certified ~scale g then true
-  else
+  if rescale_if_certified ~scale g then begin
+    Telemetry.Metrics.incr m m_certified;
+    true
+  end
+  else begin
     let ws = match workspace with Some w -> w | None -> create_workspace () in
-    run_spfa ~scale ws g
+    let ok = run_spfa ~scale ws g in
+    Telemetry.Metrics.incr m (if ok then m_spfa_ok else m_spfa_fail);
+    ok
+  end

@@ -1,5 +1,36 @@
 module G = Flowgraph.Graph
 
+(* Telemetry ids, registered once at module init. *)
+let m = Telemetry.Metrics.global ()
+let tr = Telemetry.Trace.global ()
+
+let m_solves =
+  Telemetry.Metrics.counter m ~help:"race rounds run" "mcmf_race_solves_total"
+
+let m_wins_rx =
+  Telemetry.Metrics.counter m ~help:"rounds won by relaxation"
+    "mcmf_race_wins_relaxation_total"
+
+let m_wins_cs =
+  Telemetry.Metrics.counter m ~help:"rounds won by cost scaling"
+    "mcmf_race_wins_cost_scaling_total"
+
+let m_rx_ns =
+  Telemetry.Metrics.histogram m ~help:"relaxation wall time per round (ns)"
+    "mcmf_race_relaxation_ns"
+
+let m_cs_ns =
+  Telemetry.Metrics.histogram m ~help:"cost scaling wall time per round (ns)"
+    "mcmf_race_cost_scaling_ns"
+
+let m_margin_ns =
+  Telemetry.Metrics.histogram m
+    ~help:"winner margin (loser minus winner wall time, ns) in two-solver rounds"
+    "mcmf_race_margin_ns"
+
+let t_rx = Telemetry.Trace.register tr "race.relaxation"
+let t_cs = Telemetry.Trace.register tr "race.cost_scaling"
+
 type mode =
   | Race_parallel
   | Fastest_sequential
@@ -127,13 +158,28 @@ let pick_cost_scaling rx cs =
   | Infeasible, Stopped -> false
   | _, _ -> cs.runtime < rx.runtime
 
+(* Both racers' stats are always populated in a two-solver round — that is
+   what makes the loser's margin observable. The margin histogram records
+   loser − winner runtime; bucket 0 (≤ 0) collects rounds the winner took
+   on outcome rank (Optimal / Infeasible beats Stopped) despite being
+   slower. *)
 let two_solver_result ~input ~g_rx ~g_cs rx cs =
-  if pick_cost_scaling rx cs then
+  let rx_ns = Telemetry.Clock.ns_of_s rx.Solver_intf.runtime in
+  let cs_ns = Telemetry.Clock.ns_of_s cs.Solver_intf.runtime in
+  Telemetry.Metrics.observe m m_rx_ns rx_ns;
+  Telemetry.Metrics.observe m m_cs_ns cs_ns;
+  if pick_cost_scaling rx cs then begin
+    Telemetry.Metrics.incr m m_wins_cs;
+    Telemetry.Metrics.observe m m_margin_ns (rx_ns - cs_ns);
     finish ~input ~solved:g_cs ~winner:Cost_scaling ~relaxation_stats:(Some rx)
       ~cost_scaling_stats:(Some cs) cs
-  else
+  end
+  else begin
+    Telemetry.Metrics.incr m m_wins_rx;
+    Telemetry.Metrics.observe m m_margin_ns (cs_ns - rx_ns);
     finish ~input ~solved:g_rx ~winner:Relaxation ~relaxation_stats:(Some rx)
       ~cost_scaling_stats:(Some cs) rx
+  end
 
 let solve_sequential ?stop ~scratch t g =
   let g_rx = take t g in
@@ -142,8 +188,12 @@ let solve_sequential ?stop ~scratch t g =
     G.reset_flow g_rx;
     G.reset_flow g_cs
   end;
+  let t0 = Telemetry.Trace.span_begin () in
   let rx = Relaxation.solve ?stop ~workspace:t.rx_ws g_rx in
+  Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
+  let t0 = Telemetry.Trace.span_begin () in
   let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state g_cs in
+  Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
   let r = two_solver_result ~input:g ~g_rx ~g_cs rx cs in
   reclaim t r [ g_rx; g_cs ];
   r
@@ -168,12 +218,21 @@ let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
     stats
   in
   let d_rx =
-    Domain.spawn (fun () -> announce (Relaxation.solve ~stop:stop' ~workspace:t.rx_ws g_rx))
+    Domain.spawn (fun () ->
+        let t0 = Telemetry.Trace.span_begin () in
+        let st = announce (Relaxation.solve ~stop:stop' ~workspace:t.rx_ws g_rx) in
+        Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
+        st)
   in
   let d_cs =
     Domain.spawn (fun () ->
-        announce
-          (Cost_scaling.solve ~stop:stop' ~incremental:(not scratch) t.cs_state g_cs))
+        let t0 = Telemetry.Trace.span_begin () in
+        let st =
+          announce
+            (Cost_scaling.solve ~stop:stop' ~incremental:(not scratch) t.cs_state g_cs)
+        in
+        Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+        st)
   in
   let rx = Domain.join d_rx in
   let cs = Domain.join d_cs in
@@ -182,11 +241,16 @@ let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
   r
 
 let solve ?stop ?(scratch = false) t g =
+  Telemetry.Metrics.incr m m_solves;
   match t.mode with
   | Relaxation_only ->
       let c = take t g in
       if scratch then G.reset_flow c;
+      let t0 = Telemetry.Trace.span_begin () in
       let rx = Relaxation.solve ?stop ~workspace:t.rx_ws c in
+      Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
+      Telemetry.Metrics.observe m m_rx_ns (Telemetry.Clock.ns_of_s rx.Solver_intf.runtime);
+      Telemetry.Metrics.incr m m_wins_rx;
       let r =
         finish ~input:g ~solved:c ~winner:Relaxation ~relaxation_stats:(Some rx)
           ~cost_scaling_stats:None rx
@@ -196,7 +260,11 @@ let solve ?stop ?(scratch = false) t g =
   | Incremental_cost_scaling_only ->
       let c = take t g in
       if scratch then G.reset_flow c;
+      let t0 = Telemetry.Trace.span_begin () in
       let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state c in
+      Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+      Telemetry.Metrics.observe m m_cs_ns (Telemetry.Clock.ns_of_s cs.Solver_intf.runtime);
+      Telemetry.Metrics.incr m m_wins_cs;
       let r =
         finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
           ~cost_scaling_stats:(Some cs) cs
@@ -205,7 +273,11 @@ let solve ?stop ?(scratch = false) t g =
       r
   | Cost_scaling_scratch_only ->
       let c = take t g in
+      let t0 = Telemetry.Trace.span_begin () in
       let cs = Cost_scaling.solve ?stop ~incremental:false t.cs_state c in
+      Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+      Telemetry.Metrics.observe m m_cs_ns (Telemetry.Clock.ns_of_s cs.Solver_intf.runtime);
+      Telemetry.Metrics.incr m m_wins_cs;
       let r =
         finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
           ~cost_scaling_stats:(Some cs) cs

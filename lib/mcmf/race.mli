@@ -58,7 +58,13 @@ type result = {
   winner : winner;
   stats : Solver_intf.stats;  (** the winner's stats — inspect [outcome] *)
   relaxation_stats : Solver_intf.stats option;
+      (** [Some] whenever relaxation actually ran this round — in the
+          two-solver modes that includes the loser (cancelled or
+          [Stopped] runs report their partial work), so winner/loser
+          margins stay observable. [None] only in modes that never run
+          the solver. *)
   cost_scaling_stats : Solver_intf.stats option;
+      (** same guarantee for cost scaling *)
 }
 
 (** [prepare t g] must be called on the canonical graph while it still

@@ -1,6 +1,35 @@
 module G = Flowgraph.Graph
 module Deque = Int_deque
 
+(* Telemetry ids, registered once at module init. *)
+let m = Telemetry.Metrics.global ()
+
+let m_solves =
+  Telemetry.Metrics.counter m ~help:"relaxation solves started"
+    "mcmf_relaxation_solves_total"
+
+let m_passes =
+  Telemetry.Metrics.counter m ~help:"dual-ascent phases run"
+    "mcmf_relaxation_passes_total"
+
+let m_pushes =
+  Telemetry.Metrics.counter m ~help:"pushes across all ascent phases"
+    "mcmf_relaxation_pushes_total"
+
+let m_price_rises =
+  Telemetry.Metrics.counter m ~help:"lazy price rises applied"
+    "mcmf_relaxation_price_rises_total"
+
+let m_ap_front =
+  Telemetry.Metrics.counter m
+    ~help:"candidate arcs fast-pathed to the deque front (deficit endpoint)"
+    "mcmf_relaxation_ap_front_total"
+
+let m_ap_back =
+  Telemetry.Metrics.counter m
+    ~help:"candidate arcs appended to the deque back"
+    "mcmf_relaxation_ap_back_total"
+
 (* Binary min-heap of (key, arc) pairs, no decrease-key (entries are
    advisory; staleness is checked at pop). Lives in the workspace; [clear]
    is O(1). *)
@@ -125,14 +154,18 @@ let ws_ensure ws bound =
    whose aggregators have enormous degree. *)
 let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
     ?(arc_prioritization = true) ?workspace g =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
+  Telemetry.Metrics.incr m m_solves;
   let iterations = ref 0 in
   let pushes = ref 0 in
   let price_rises = ref 0 in
   let finish outcome =
+    Telemetry.Metrics.add m m_passes !iterations;
+    Telemetry.Metrics.add m m_pushes !pushes;
+    Telemetry.Metrics.add m m_price_rises !price_rises;
     Solver_intf.stats ~iterations:!iterations ~pushes:!pushes ~relabels:!price_rises
       outcome
-      (Unix.gettimeofday () -. t0)
+      (Telemetry.Clock.s_of_ns (Telemetry.Clock.now_ns () - t0))
   in
   if not incremental then G.reset_flow g;
   (* Establish reduced-cost optimality (possibly breaking feasibility). *)
@@ -183,8 +216,14 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false)
     rise_total := 0
   in
   let add_candidate a =
-    if arc_prioritization && G.excess g (G.dst g a) < 0 then Deque.push_front candidates a
-    else Deque.push_back candidates a
+    if arc_prioritization && G.excess g (G.dst g a) < 0 then begin
+      Telemetry.Metrics.incr m m_ap_front;
+      Deque.push_front candidates a
+    end
+    else begin
+      Telemetry.Metrics.incr m m_ap_back;
+      Deque.push_back candidates a
+    end
   in
   (* Phase accumulators and loop cursors, allocated once per solve: the
      helpers below mutate these instead of returning tuples — without

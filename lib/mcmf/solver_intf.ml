@@ -38,12 +38,14 @@ type stop = unit -> bool
 
 let never_stop : stop = fun () -> false
 
-(** [deadline_stop seconds] stops once at least [seconds] of wall-clock
-    time have elapsed from the call — so a zero deadline fires at the
-    very first poll. Combine with a flag via {!either_stop}. *)
+(** [deadline_stop seconds] stops once at least [seconds] have elapsed
+    from the call — so a zero deadline fires at the very first poll.
+    Uses the shared monotonic clock ({!Telemetry.Clock}), so an NTP step
+    during a round can neither eat the budget nor extend it. Combine
+    with a flag via {!either_stop}. *)
 let deadline_stop seconds : stop =
-  let t0 = Unix.gettimeofday () in
-  fun () -> Unix.gettimeofday () -. t0 >= seconds
+  let deadline = Telemetry.Clock.now_ns () + Telemetry.Clock.ns_of_s seconds in
+  fun () -> Telemetry.Clock.now_ns () >= deadline
 
 let flag_stop (flag : bool Atomic.t) : stop = fun () -> Atomic.get flag
 let either_stop a b : stop = fun () -> a () || b ()

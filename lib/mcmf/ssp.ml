@@ -49,12 +49,12 @@ let ws_ensure ws bound =
   end
 
 let solve ?(stop = Solver_intf.never_stop) ?workspace g =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Telemetry.Clock.now_ns () in
   let iterations = ref 0 in
   let pushes = ref 0 in
   let finish outcome =
     Solver_intf.stats ~iterations:!iterations ~pushes:!pushes outcome
-      (Unix.gettimeofday () -. t0)
+      (Telemetry.Clock.s_of_ns (Telemetry.Clock.now_ns () - t0))
   in
   let bound = max 1 (G.node_bound g) in
   let ws = match workspace with Some w -> w | None -> create_workspace () in

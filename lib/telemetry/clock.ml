@@ -1,0 +1,10 @@
+external now_ns : unit -> int = "caml_telemetry_now_ns" [@@noalloc]
+
+let s_of_ns ns = float_of_int ns *. 1e-9
+let now_s () = s_of_ns (now_ns ())
+
+let ns_of_s s =
+  let ns = s *. 1e9 in
+  if ns >= float_of_int max_int then max_int
+  else if ns <= float_of_int min_int then min_int
+  else int_of_float ns

@@ -1,0 +1,23 @@
+(** The one clock every timed component shares.
+
+    Monotonic (CLOCK_MONOTONIC): never jumps backward or forward under
+    NTP adjustment, so span durations and solver deadlines stay honest.
+    Timestamps are nanoseconds since an arbitrary epoch — only
+    differences are meaningful; do not mix with wall-clock time.
+
+    {!now_ns} is [@@noalloc]: reading the clock never allocates, so
+    timestamping is safe inside the solvers' allocation-free hot loops
+    (a 63-bit int holds ~146 years of nanoseconds). *)
+
+(** Current monotonic time in nanoseconds. Never allocates. *)
+external now_ns : unit -> int = "caml_telemetry_now_ns" [@@noalloc]
+
+(** [now_s ()] is {!now_ns} in seconds (allocates the float box; use
+    {!now_ns} in hot paths). *)
+val now_s : unit -> float
+
+(** [ns_of_s s] / [s_of_ns ns] convert between the clock's unit and
+    float seconds (saturating on overflow for absurd inputs). *)
+val ns_of_s : float -> int
+
+val s_of_ns : int -> float

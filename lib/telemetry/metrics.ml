@@ -1,0 +1,200 @@
+type id = int
+type kind = Counter | Gauge | Histogram
+
+let pp_kind ppf k =
+  Format.pp_print_string ppf
+    (match k with Counter -> "counter" | Gauge -> "gauge" | Histogram -> "histogram")
+
+(* Storage is one int array per metric, indexed by the metric's id:
+   length 1 for counters/gauges; length [buckets + 2] for histograms
+   (bucket counts, then total count, then sum). Everything the hot path
+   touches is preallocated at registration; record calls are pure array
+   writes. *)
+type t = {
+  mutable names : string array;
+  mutable helps : string array;
+  mutable kinds : kind array;
+  mutable data : int array array;
+  mutable n : int;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    names = Array.make 16 "";
+    helps = Array.make 16 "";
+    kinds = Array.make 16 Counter;
+    data = Array.make 16 [||];
+    n = 0;
+    by_name = Hashtbl.create 64;
+  }
+
+let global_registry = ref None
+
+let global () =
+  match !global_registry with
+  | Some t -> t
+  | None ->
+      let t = create () in
+      global_registry := Some t;
+      t
+
+let max_buckets = 64
+let default_buckets = 64
+
+let valid_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  &&
+  let ok = ref true in
+  String.iter
+    (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> () | _ -> ok := false)
+    s;
+  !ok
+
+let grow t =
+  if t.n = Array.length t.names then begin
+    let cap = 2 * t.n in
+    let resize a fill =
+      let a' = Array.make cap fill in
+      Array.blit a 0 a' 0 t.n;
+      a'
+    in
+    t.names <- resize t.names "";
+    t.helps <- resize t.helps "";
+    t.kinds <- resize t.kinds Counter;
+    t.data <- resize t.data [||]
+  end
+
+let register t ~help ~kind ~cells name =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Telemetry.Metrics: invalid metric name %S" name);
+  match Hashtbl.find_opt t.by_name name with
+  | Some id ->
+      if t.kinds.(id) <> kind then
+        invalid_arg
+          (Format.asprintf "Telemetry.Metrics: %s already registered as a %a" name
+             pp_kind t.kinds.(id));
+      id
+  | None ->
+      grow t;
+      let id = t.n in
+      t.names.(id) <- name;
+      t.helps.(id) <- help;
+      t.kinds.(id) <- kind;
+      t.data.(id) <- Array.make cells 0;
+      t.n <- id + 1;
+      Hashtbl.replace t.by_name name id;
+      id
+
+let counter t ?(help = "") name = register t ~help ~kind:Counter ~cells:1 name
+let gauge t ?(help = "") name = register t ~help ~kind:Gauge ~cells:1 name
+
+let histogram t ?(help = "") ?(buckets = default_buckets) name =
+  let buckets = max 2 (min max_buckets buckets) in
+  register t ~help ~kind:Histogram ~cells:(buckets + 2) name
+
+(* {1 Hot path} — ids come from registration (always < n), so the
+   unchecked accesses are bounds-proven; a local ref here would be a
+   minor-heap allocation per call (no flambda), hence the branchy
+   straight-line bucket computation. *)
+
+let incr t id =
+  let a = Array.unsafe_get t.data id in
+  Array.unsafe_set a 0 (Array.unsafe_get a 0 + 1)
+
+let add t id v =
+  let a = Array.unsafe_get t.data id in
+  Array.unsafe_set a 0 (Array.unsafe_get a 0 + v)
+
+let set t id v =
+  let a = Array.unsafe_get t.data id in
+  Array.unsafe_set a 0 v
+
+let bucket_of ~buckets v =
+  if v <= 0 then 0
+  else begin
+    (* 1 + floor(log2 v) via branchless-ish binary reduction, clamped to
+       the overflow bucket. *)
+    let b1 = if v >= 1 lsl 32 then 32 else 0 in
+    let v1 = v lsr b1 in
+    let b2 = if v1 >= 1 lsl 16 then 16 else 0 in
+    let v2 = v1 lsr b2 in
+    let b3 = if v2 >= 1 lsl 8 then 8 else 0 in
+    let v3 = v2 lsr b3 in
+    let b4 = if v3 >= 1 lsl 4 then 4 else 0 in
+    let v4 = v3 lsr b4 in
+    let b5 = if v4 >= 4 then 2 else 0 in
+    let v5 = v4 lsr b5 in
+    let b6 = if v5 >= 2 then 1 else 0 in
+    let b = b1 + b2 + b3 + b4 + b5 + b6 + 1 in
+    if b > buckets - 1 then buckets - 1 else b
+  end
+
+let bucket_le ~buckets b =
+  if b >= buckets - 1 then max_int else if b <= 0 then 0 else (1 lsl b) - 1
+
+let observe t id v =
+  let a = Array.unsafe_get t.data id in
+  let buckets = Array.length a - 2 in
+  let b = bucket_of ~buckets v in
+  Array.unsafe_set a b (Array.unsafe_get a b + 1);
+  Array.unsafe_set a buckets (Array.unsafe_get a buckets + 1);
+  Array.unsafe_set a (buckets + 1) (Array.unsafe_get a (buckets + 1) + v)
+
+(* {1 Cold path} *)
+
+let check t id =
+  if id < 0 || id >= t.n then invalid_arg "Telemetry.Metrics: unknown metric id"
+
+let value t id =
+  check t id;
+  t.data.(id).(0)
+
+let hist_data t id =
+  check t id;
+  if t.kinds.(id) <> Histogram then
+    invalid_arg (Printf.sprintf "Telemetry.Metrics: %s is not a histogram" t.names.(id));
+  t.data.(id)
+
+let hist_count t id =
+  let a = hist_data t id in
+  a.(Array.length a - 2)
+
+let hist_sum t id =
+  let a = hist_data t id in
+  a.(Array.length a - 1)
+
+let hist_bucket t id b =
+  let a = hist_data t id in
+  let buckets = Array.length a - 2 in
+  if b < 0 || b >= buckets then invalid_arg "Telemetry.Metrics.hist_bucket: out of range";
+  a.(b)
+
+let find t name = Hashtbl.find_opt t.by_name name
+
+let reset t =
+  for id = 0 to t.n - 1 do
+    Array.fill t.data.(id) 0 (Array.length t.data.(id)) 0
+  done
+
+type view = {
+  name : string;
+  help : string;
+  kind : kind;
+  buckets : int;
+  data : int array;
+}
+
+let views t =
+  List.init t.n (fun id ->
+      {
+        name = t.names.(id);
+        help = t.helps.(id);
+        kind = t.kinds.(id);
+        buckets =
+          (match t.kinds.(id) with
+          | Histogram -> Array.length t.data.(id) - 2
+          | Counter | Gauge -> 0);
+        data = Array.copy t.data.(id);
+      })

@@ -1,0 +1,108 @@
+(** Allocation-disciplined metrics registry.
+
+    Metrics are registered {e once at startup} (module initialization of
+    the instrumented library) and yield an int {!id} indexing
+    preallocated storage; the hot-path record calls ({!incr}, {!add},
+    {!set}, {!observe}) are plain int-array writes and allocate nothing —
+    safe inside the solvers' allocation-free steady state (DESIGN.md
+    "Memory discipline").
+
+    Three kinds:
+    - {b counters} — monotonically increasing ints ([_total] names);
+    - {b gauges} — last-written int values (per-round instantaneous
+      readings, e.g. the latest round's phase durations);
+    - {b histograms} — fixed-bucket log₂-scale distributions: bucket 0
+      holds values ≤ 0 and bucket [b ≥ 1] holds [2^(b-1) .. 2^b - 1],
+      with the last bucket absorbing everything larger (overflow clamp).
+      Durations are observed in integer nanoseconds from
+      {!Clock.now_ns}, so a 64-bucket histogram spans 1 ns to ~73 years.
+
+    Registration is idempotent per name: re-registering an existing name
+    with the same kind returns the existing id (so module-level
+    registration against {!global} is safe under re-linking), and with a
+    different kind raises. Names must be valid Prometheus metric names
+    ([[a-zA-Z_:][a-zA-Z0-9_:]*]).
+
+    Concurrency: record calls are unsynchronized int writes. The
+    instrumented call sites keep them race-free by construction — the
+    two racing solver domains write disjoint metric ids — and a torn
+    read can at worst misreport one sample, never corrupt the heap. *)
+
+type t
+
+type id = int
+type kind = Counter | Gauge | Histogram
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** [create ()] is an empty registry. *)
+val create : unit -> t
+
+(** The process-wide registry all built-in instrumentation records into.
+    Created on first use. *)
+val global : unit -> t
+
+(** {1 Registration (startup, cold)} *)
+
+(** [counter t name] registers a counter. @raise Invalid_argument on a
+    malformed name or a kind clash with an existing metric. *)
+val counter : t -> ?help:string -> string -> id
+
+val gauge : t -> ?help:string -> string -> id
+
+(** [histogram t name] registers a log₂ histogram with [buckets]
+    (default 64, clamped to [2..64]) buckets. *)
+val histogram : t -> ?help:string -> ?buckets:int -> string -> id
+
+(** {1 Recording (hot, never allocates)} *)
+
+val incr : t -> id -> unit
+val add : t -> id -> int -> unit
+
+(** [set t id v] overwrites a gauge. *)
+val set : t -> id -> int -> unit
+
+(** [observe t id v] adds [v] to a histogram: bumps its bucket, count
+    and sum. *)
+val observe : t -> id -> int -> unit
+
+(** {1 Reading and maintenance (cold)} *)
+
+(** [value t id] reads a counter or gauge. *)
+val value : t -> id -> int
+
+val hist_count : t -> id -> int
+val hist_sum : t -> id -> int
+
+(** [hist_bucket t id b] is the (non-cumulative) count in bucket [b]. *)
+val hist_bucket : t -> id -> int -> int
+
+val find : t -> string -> id option
+
+(** [reset t] zeroes every metric's storage, keeping registrations.
+    Used between replays for deterministic-snapshot comparisons and by
+    long-lived processes that export per-epoch deltas. *)
+val reset : t -> unit
+
+(** One metric's state, decoupled from the registry (data is a copy). A
+    histogram's [data] is laid out as [buckets] bucket counts followed
+    by total count and sum. *)
+type view = {
+  name : string;
+  help : string;
+  kind : kind;
+  buckets : int;  (** 0 for counters and gauges *)
+  data : int array;
+}
+
+(** [views t] snapshots every metric in registration order. *)
+val views : t -> view list
+
+(** {1 Bucket arithmetic (exposed for tests and exporters)} *)
+
+(** [bucket_of ~buckets v] is the bucket index [v] falls into. *)
+val bucket_of : buckets:int -> int -> int
+
+(** [bucket_le ~buckets b] is bucket [b]'s inclusive upper bound
+    ([max_int] for the overflow bucket). *)
+val bucket_le : buckets:int -> int -> int

@@ -1,0 +1,35 @@
+/* Monotonic clock for Telemetry.Clock.
+
+   Returns nanoseconds since an arbitrary epoch as a tagged OCaml int
+   (63 bits hold ~146 years of uptime), so the OCaml side can declare the
+   external [@@noalloc]: a timestamp read never touches the heap, which
+   is what lets span tracing run inside the solvers' allocation-free
+   steady state. CLOCK_MONOTONIC is immune to NTP step adjustments,
+   unlike gettimeofday. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+#ifdef CLOCK_MONOTONIC
+
+CAMLprim value caml_telemetry_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}
+
+#else
+
+/* Fallback for platforms without CLOCK_MONOTONIC: wall clock, scaled to
+   the same unit. Monotonicity is then only best-effort. */
+#include <sys/time.h>
+
+CAMLprim value caml_telemetry_now_ns(value unit)
+{
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return Val_long((intnat)tv.tv_sec * 1000000000 + (intnat)tv.tv_usec * 1000);
+}
+
+#endif

@@ -1,0 +1,99 @@
+(* Flat parallel int arrays + an atomic write cursor. A span record is
+   four unsafe array writes; Atomic.fetch_and_add claims a slot without
+   locking so both racing solver domains can trace concurrently. *)
+
+type phase = int
+
+type t = {
+  mask : int; (* capacity - 1; capacity is a power of two *)
+  phases : int array;
+  t0s : int array;
+  t1s : int array;
+  rounds : int array;
+  head : int Atomic.t; (* total spans ever recorded *)
+  mutable epoch : int;
+  mutable names : string array;
+  mutable n_names : int;
+  by_name : (string, int) Hashtbl.t;
+}
+
+let round_pow2 c =
+  let rec go p = if p >= c then p else go (p * 2) in
+  go 16
+
+let create ?(capacity = 1024) () =
+  let capacity = round_pow2 (max 16 (min (1 lsl 20) capacity)) in
+  {
+    mask = capacity - 1;
+    phases = Array.make capacity 0;
+    t0s = Array.make capacity 0;
+    t1s = Array.make capacity 0;
+    rounds = Array.make capacity 0;
+    head = Atomic.make 0;
+    epoch = 0;
+    names = Array.make 16 "";
+    n_names = 0;
+    by_name = Hashtbl.create 32;
+  }
+
+let global_ring = ref None
+
+let global () =
+  match !global_ring with
+  | Some t -> t
+  | None ->
+      let t = create () in
+      global_ring := Some t;
+      t
+
+let register t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      if t.n_names = Array.length t.names then begin
+        let names' = Array.make (2 * t.n_names) "" in
+        Array.blit t.names 0 names' 0 t.n_names;
+        t.names <- names'
+      end;
+      let id = t.n_names in
+      t.names.(id) <- name;
+      t.n_names <- id + 1;
+      Hashtbl.replace t.by_name name id;
+      id
+
+let phase_name t p =
+  if p < 0 || p >= t.n_names then invalid_arg "Telemetry.Trace.phase_name";
+  t.names.(p)
+
+let span t ~phase ~t0 ~t1 =
+  let slot = Atomic.fetch_and_add t.head 1 land t.mask in
+  Array.unsafe_set t.phases slot phase;
+  Array.unsafe_set t.t0s slot t0;
+  Array.unsafe_set t.t1s slot t1;
+  Array.unsafe_set t.rounds slot t.epoch
+
+let span_begin () = Clock.now_ns ()
+let span_end t ~phase ~t0 = span t ~phase ~t0 ~t1:(Clock.now_ns ())
+let new_round t = t.epoch <- t.epoch + 1
+let set_round t r = t.epoch <- r
+let round t = t.epoch
+let capacity t = t.mask + 1
+let recorded t = Atomic.get t.head
+let length t = min (Atomic.get t.head) (t.mask + 1)
+
+let iter_recent t f =
+  let head = Atomic.get t.head in
+  let n = min head (t.mask + 1) in
+  for i = head - n to head - 1 do
+    let slot = i land t.mask in
+    f ~phase:t.phases.(slot) ~round:t.rounds.(slot) ~t0:t.t0s.(slot)
+      ~t1:t.t1s.(slot)
+  done
+
+let reset t =
+  Atomic.set t.head 0;
+  t.epoch <- 0;
+  Array.fill t.phases 0 (t.mask + 1) 0;
+  Array.fill t.t0s 0 (t.mask + 1) 0;
+  Array.fill t.t1s 0 (t.mask + 1) 0;
+  Array.fill t.rounds 0 (t.mask + 1) 0

@@ -1,0 +1,73 @@
+(** Lightweight span tracing into a preallocated ring buffer.
+
+    A span is a named phase with begin/end monotonic timestamps
+    ({!Clock.now_ns}) plus the scheduling-round epoch it ran in. Phase
+    names are registered once at startup, yielding an int id; recording
+    a span ({!span}, or {!span_begin}/{!span_end}) writes four ints into
+    flat preallocated arrays and allocates nothing, so tracing is safe
+    inside the solvers' allocation-free steady state.
+
+    The ring keeps the most recent [capacity] spans (power of two,
+    default 1024) and overwrites the oldest on wrap. The write cursor is
+    an [Atomic.fetch_and_add] so the two racing solver domains can claim
+    slots concurrently without tearing each other's records. *)
+
+type t
+
+type phase = int
+(** A registered phase name. *)
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] is an empty ring. [capacity] (default 1024) is rounded
+    up to a power of two and clamped to [[16, 1 lsl 20]]. *)
+
+val global : unit -> t
+(** The process-wide ring all built-in instrumentation records into. *)
+
+(** {1 Registration (startup, cold)} *)
+
+val register : t -> string -> phase
+(** [register t name] names a phase. Idempotent per name. *)
+
+val phase_name : t -> phase -> string
+
+(** {1 Recording (hot, never allocates)} *)
+
+val span : t -> phase:phase -> t0:int -> t1:int -> unit
+(** [span t ~phase ~t0 ~t1] records a completed span with explicit
+    begin/end timestamps from {!Clock.now_ns}. *)
+
+val span_begin : unit -> int
+(** [span_begin ()] is just {!Clock.now_ns} — named for call-site
+    legibility. *)
+
+val span_end : t -> phase:phase -> t0:int -> unit
+(** [span_end t ~phase ~t0] records a span ending now. *)
+
+val new_round : t -> unit
+(** Advance the round epoch; subsequent spans are stamped with it. *)
+
+val set_round : t -> int -> unit
+(** Pin the epoch (used by replay to align spans with trace rounds). *)
+
+(** {1 Reading and maintenance (cold)} *)
+
+val round : t -> int
+(** Current round epoch (starts at 0). *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Number of spans currently retained (≤ capacity). *)
+
+val recorded : t -> int
+(** Total spans ever recorded, including ones overwritten on wrap. *)
+
+val iter_recent :
+  t -> (phase:phase -> round:int -> t0:int -> t1:int -> unit) -> unit
+(** [iter_recent t f] visits retained spans oldest-first. Spans being
+    concurrently overwritten may be skipped; intended for end-of-run
+    export, not mid-solve inspection. *)
+
+val reset : t -> unit
+(** Drop all spans and reset the epoch to 0, keeping registrations. *)

@@ -680,6 +680,43 @@ let test_scheduler_config_deadline () =
   Alcotest.check degraded_t "generous deadline completes" `None d;
   checki "all placed" 0 waiting
 
+let test_scheduler_phase_attribution () =
+  (* A 10 ms deadline on a from-scratch solve of a large cluster cannot
+     complete: the round degrades to [`Partial], and its [phase_ns] must
+     attribute the spent budget across named phases whose durations sum
+     to the round's wall time (the checkpoints are contiguous, so the sum
+     is exact up to the instants before/after the schedule call). *)
+  let machines = 400 in
+  let cluster = mk_cluster ~machines ~slots:4 in
+  let sched =
+    Firmament.Scheduler.create
+      ~config:{ Firmament.Scheduler.default_config with deadline = Some 0.01 }
+      cluster
+      ~policy:(fun ~drain net st -> Firmament.Policy_load_spread.make ~drain net st)
+  in
+  Firmament.Scheduler.submit_job sched
+    (simple_job ~jid:0 ~n:(machines * 4) ~submit:0. ~duration:50.);
+  let w0 = Telemetry.Clock.now_ns () in
+  let r = Firmament.Scheduler.schedule sched ~now:0. in
+  let w1 = Telemetry.Clock.now_ns () in
+  Alcotest.check degraded_t "10ms deadline degrades to partial" `Partial
+    r.Firmament.Scheduler.degraded;
+  let phases = r.Firmament.Scheduler.phase_ns in
+  checkb "phases named" true
+    (List.mem_assoc "refresh" phases && List.mem_assoc "solve" phases
+    && List.mem_assoc "extract" phases && List.mem_assoc "apply" phases);
+  List.iter
+    (fun (p, d) -> checkb (p ^ " duration non-negative") true (d >= 0))
+    phases;
+  (* The deadline budget went to the solve phase. *)
+  let solve_ns = List.assoc "solve" phases in
+  checkb "solve consumed the deadline" true (solve_ns >= 8_000_000);
+  let sum = List.fold_left (fun acc (_, d) -> acc + d) 0 phases in
+  let wall = w1 - w0 in
+  checkb "phase sum bounded by outer wall" true (sum <= wall);
+  checkb "phase sum ~ round wall time" true
+    (float_of_int sum >= 0.9 *. float_of_int wall)
+
 let () =
   Alcotest.run "firmament"
     [
@@ -744,5 +781,7 @@ let () =
           Alcotest.test_case "mid-solve stop stays capacity-valid" `Quick
             test_scheduler_midsolve_stop_capacity_valid;
           Alcotest.test_case "config deadline" `Quick test_scheduler_config_deadline;
+          Alcotest.test_case "partial round attributes phases" `Quick
+            test_scheduler_phase_attribution;
         ] );
     ]

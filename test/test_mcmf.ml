@@ -705,6 +705,53 @@ let mode_name =
     | Incremental_cost_scaling_only -> "incremental-cs"
     | Cost_scaling_scratch_only -> "quincy-cs")
 
+let test_race_two_solver_stats_always_populated () =
+  (* Whenever both racers actually ran, both stats fields must be [Some] —
+     including rounds where the loser was cancelled or the whole race was
+     deadline-stopped — so winner/loser margins stay observable. The
+     single-solver modes conversely never fabricate stats for a solver
+     that did not run. *)
+  let check_two name (r : Mcmf.Race.result) =
+    checkb (name ^ " relaxation stats present") true (r.Mcmf.Race.relaxation_stats <> None);
+    checkb (name ^ " cost-scaling stats present") true
+      (r.Mcmf.Race.cost_scaling_stats <> None);
+    (match (r.Mcmf.Race.relaxation_stats, r.Mcmf.Race.cost_scaling_stats) with
+    | Some rx, Some cs ->
+        checkb (name ^ " rx runtime non-negative") true (rx.S.runtime >= 0.);
+        checkb (name ^ " cs runtime non-negative") true (cs.S.runtime >= 0.)
+    | _ -> ())
+  in
+  List.iter
+    (fun mode ->
+      let name = mode_name mode in
+      let race = Mcmf.Race.create ~mode () in
+      check_two (name ^ " clean") (Mcmf.Race.solve race (random_instance 11));
+      (* A fresh orchestrator per scenario: the stopped round must not
+         inherit warm scratch state from the clean one. *)
+      let race = Mcmf.Race.create ~mode () in
+      check_two
+        (name ^ " stopped")
+        (Mcmf.Race.solve ~stop:(fun () -> true) race (random_instance 12));
+      let race = Mcmf.Race.create ~mode () in
+      check_two
+        (name ^ " zero deadline")
+        (Mcmf.Race.solve ~stop:(Mcmf.Solver_intf.deadline_stop 0.) race
+           (random_instance 13)))
+    Mcmf.Race.[ Fastest_sequential; Race_parallel ];
+  List.iter
+    (fun (mode, rx_expected, cs_expected) ->
+      let name = mode_name mode in
+      let race = Mcmf.Race.create ~mode () in
+      let r = Mcmf.Race.solve race (random_instance 14) in
+      checkb (name ^ " rx stats") rx_expected (r.Mcmf.Race.relaxation_stats <> None);
+      checkb (name ^ " cs stats") cs_expected (r.Mcmf.Race.cost_scaling_stats <> None))
+    Mcmf.Race.
+      [
+        (Relaxation_only, true, false);
+        (Incremental_cost_scaling_only, false, true);
+        (Cost_scaling_scratch_only, false, true);
+      ]
+
 let test_race_infeasible_returns_untouched_input () =
   (* An unroutable instance must come back as a result (not an exception),
      with [graph] being the caller's input, flow-free: the warm start
@@ -950,6 +997,8 @@ let () =
             test_race_handed_out_graph_never_clobbered;
           Alcotest.test_case "recycling the input is rejected" `Quick
             test_race_recycling_input_is_rejected;
+          Alcotest.test_case "two-solver stats always populated" `Quick
+            test_race_two_solver_stats_always_populated;
         ] );
       ( "degradation",
         Alcotest.test_case "infeasible returns untouched input" `Quick

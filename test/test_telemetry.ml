@@ -1,0 +1,345 @@
+(* Telemetry unit tests: histogram bucket arithmetic, registry behaviour,
+   span-ring wraparound and epochs, exporter well-formedness, and
+   snapshot determinism across identical replays. *)
+
+module M = Telemetry.Metrics
+module T = Telemetry.Trace
+
+let checki msg = Alcotest.check Alcotest.int msg
+let checkb msg = Alcotest.check Alcotest.bool msg
+let checks msg = Alcotest.check Alcotest.string msg
+
+(* {1 Histogram buckets} *)
+
+let test_bucket_zero_and_negative () =
+  checki "zero lands in bucket 0" 0 (M.bucket_of ~buckets:64 0);
+  checki "negative lands in bucket 0" 0 (M.bucket_of ~buckets:64 (-5));
+  checki "bucket 0 upper bound" 0 (M.bucket_le ~buckets:64 0)
+
+let test_bucket_log_boundaries () =
+  (* Bucket b >= 1 covers [2^(b-1), 2^b - 1]. *)
+  checki "1 -> bucket 1" 1 (M.bucket_of ~buckets:64 1);
+  for b = 1 to 61 do
+    let lo = 1 lsl (b - 1) and hi = (1 lsl b) - 1 in
+    let expect = min b 62 in
+    checki (Printf.sprintf "lower edge of bucket %d" b) expect
+      (M.bucket_of ~buckets:64 lo);
+    checki (Printf.sprintf "upper edge of bucket %d" b) expect
+      (M.bucket_of ~buckets:64 hi)
+  done;
+  (* Inclusive upper bounds match the bucket_of edges. *)
+  for b = 1 to 61 do
+    checki
+      (Printf.sprintf "bucket_le %d" b)
+      ((1 lsl b) - 1)
+      (M.bucket_le ~buckets:64 b)
+  done;
+  checki "overflow bucket bound is max_int" max_int (M.bucket_le ~buckets:64 63)
+
+let test_bucket_monotonic () =
+  (* bucket_of is monotone in the value: probe around every power of two. *)
+  let values = ref [ 0; max_int ] in
+  for e = 0 to 61 do
+    let p = 1 lsl e in
+    values := (p - 1) :: p :: (p + 1) :: !values
+  done;
+  let values = List.sort_uniq compare !values in
+  let prev = ref (-1) in
+  List.iter
+    (fun v ->
+      let b = M.bucket_of ~buckets:64 v in
+      checkb (Printf.sprintf "monotone at %d" v) true (b >= !prev);
+      prev := b)
+    values
+
+let test_bucket_overflow_clamp () =
+  (* A small histogram clamps everything past its range into its last
+     bucket instead of dropping or wrapping. *)
+  let reg = M.create () in
+  let h = M.histogram reg ~buckets:8 "clamp_test" in
+  M.observe reg h 0;
+  M.observe reg h 1;
+  M.observe reg h (1 lsl 20);
+  M.observe reg h max_int;
+  checki "count" 4 (M.hist_count reg h);
+  checki "zero in bucket 0" 1 (M.hist_bucket reg h 0);
+  checki "one in bucket 1" 1 (M.hist_bucket reg h 1);
+  checki "overflow clamped to last bucket" 2 (M.hist_bucket reg h 7);
+  checki "clamped bucket_of agrees" 7 (M.bucket_of ~buckets:8 (1 lsl 20));
+  checki "sum keeps exact values" (1 + (1 lsl 20) + max_int) (M.hist_sum reg h)
+
+let test_histogram_observe () =
+  let reg = M.create () in
+  let h = M.histogram reg "obs_test" in
+  List.iter (M.observe reg h) [ 1; 2; 3; 4; 1000 ];
+  checki "count" 5 (M.hist_count reg h);
+  checki "sum" 1010 (M.hist_sum reg h);
+  checki "bucket of 1" 1 (M.hist_bucket reg h 1);
+  (* 2..3 share bucket 2 *)
+  checki "bucket of 2-3" 2 (M.hist_bucket reg h 2);
+  checki "bucket of 4" 1 (M.hist_bucket reg h 3);
+  checki "bucket of 1000" 1 (M.hist_bucket reg h 10)
+
+(* {1 Registry} *)
+
+let test_registration_idempotent () =
+  let reg = M.create () in
+  let a = M.counter reg "foo_total" in
+  let b = M.counter reg "foo_total" in
+  checki "same id for same name" a b;
+  checkb "kind clash raises" true
+    (try
+       ignore (M.gauge reg "foo_total");
+       false
+     with Invalid_argument _ -> true);
+  checkb "invalid name raises" true
+    (try
+       ignore (M.counter reg "bad name!");
+       false
+     with Invalid_argument _ -> true)
+
+let test_counter_gauge_ops () =
+  let reg = M.create () in
+  let c = M.counter reg "ops_total" in
+  let g = M.gauge reg "level" in
+  M.incr reg c;
+  M.incr reg c;
+  M.add reg c 5;
+  M.set reg g 42;
+  M.set reg g 17;
+  checki "counter accumulates" 7 (M.value reg c);
+  checki "gauge overwrites" 17 (M.value reg g)
+
+let test_reset_keeps_registrations () =
+  let reg = M.create () in
+  let c = M.counter reg "reset_total" in
+  let h = M.histogram reg ~buckets:4 "reset_hist" in
+  M.incr reg c;
+  M.observe reg h 3;
+  M.reset reg;
+  checki "counter zeroed" 0 (M.value reg c);
+  checki "histogram zeroed" 0 (M.hist_count reg h);
+  checkb "registration survives" true (M.find reg "reset_total" = Some c);
+  M.incr reg c;
+  checki "still usable" 1 (M.value reg c)
+
+(* {1 Span ring} *)
+
+let test_ring_wraparound () =
+  let ring = T.create ~capacity:16 () in
+  let p = T.register ring "phase" in
+  for i = 0 to 39 do
+    T.span ring ~phase:p ~t0:i ~t1:(i + 1)
+  done;
+  checki "capacity" 16 (T.capacity ring);
+  checki "recorded counts everything" 40 (T.recorded ring);
+  checki "length capped at capacity" 16 (T.length ring);
+  let seen = ref [] in
+  T.iter_recent ring (fun ~phase:_ ~round:_ ~t0 ~t1:_ -> seen := t0 :: !seen);
+  let seen = List.rev !seen in
+  checki "iterates retained spans" 16 (List.length seen);
+  (* Oldest-first, and only the most recent 16 survive the wrap. *)
+  Alcotest.(check (list int)) "keeps newest, oldest-first" (List.init 16 (fun i -> 24 + i)) seen
+
+let test_ring_round_epochs () =
+  let ring = T.create ~capacity:16 () in
+  let p = T.register ring "phase" in
+  checki "epoch starts at 0" 0 (T.round ring);
+  T.span ring ~phase:p ~t0:0 ~t1:1;
+  T.new_round ring;
+  T.span ring ~phase:p ~t0:1 ~t1:2;
+  T.new_round ring;
+  T.span ring ~phase:p ~t0:2 ~t1:3;
+  checki "epoch advanced" 2 (T.round ring);
+  let rounds = ref [] in
+  T.iter_recent ring (fun ~phase:_ ~round ~t0:_ ~t1:_ -> rounds := round :: !rounds);
+  Alcotest.(check (list int)) "spans stamped with their round" [ 2; 1; 0 ] !rounds;
+  T.reset ring;
+  checki "reset drops spans" 0 (T.length ring);
+  checki "reset rewinds the epoch" 0 (T.round ring);
+  checks "registrations survive reset" "phase" (T.phase_name ring p)
+
+(* {1 Exporters} *)
+
+let mk_populated_registry () =
+  let reg = M.create () in
+  let c = M.counter reg ~help:"a counter" "exp_ops_total" in
+  let g = M.gauge reg "exp_level" in
+  let h = M.histogram reg ~help:"a histogram" ~buckets:6 "exp_dur_ns" in
+  let h2 = M.histogram reg "exp_empty_ns" in
+  ignore h2;
+  M.add reg c 3;
+  M.set reg g (-4);
+  List.iter (M.observe reg h) [ 0; 1; 7; 1 lsl 40 ];
+  reg
+
+let test_prometheus_well_formed () =
+  let reg = mk_populated_registry () in
+  let out = Format.asprintf "%a" Telemetry.Export.prometheus reg in
+  let lines = String.split_on_char '\n' out in
+  let series = Hashtbl.create 64 and types = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if line = "" || String.length line >= 7 && String.sub line 0 7 = "# HELP " then ()
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        let name = List.nth (String.split_on_char ' ' line) 2 in
+        checkb ("unique TYPE for " ^ name) false (Hashtbl.mem types name);
+        Hashtbl.replace types name ()
+      end
+      else
+        match String.index_opt line ' ' with
+        | None -> Alcotest.failf "malformed line: %S" line
+        | Some i ->
+            let key = String.sub line 0 i in
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            checkb ("unique series " ^ key) false (Hashtbl.mem series key);
+            Hashtbl.replace series key ();
+            checkb ("integer value in " ^ line) true
+              (match int_of_string_opt v with Some _ -> true | None -> false))
+    lines;
+  checkb "counter TYPE present" true (Hashtbl.mem types "exp_ops_total");
+  checkb "histogram TYPE present" true (Hashtbl.mem types "exp_dur_ns");
+  checkb "+Inf bucket present" true
+    (Hashtbl.mem series "exp_dur_ns_bucket{le=\"+Inf\"}");
+  (* Cumulative buckets end at the total count. *)
+  let find_value key =
+    let v = ref None in
+    List.iter
+      (fun line ->
+        match String.index_opt line ' ' with
+        | Some i when String.sub line 0 i = key ->
+            v := int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1))
+        | _ -> ())
+      lines;
+    match !v with Some v -> v | None -> Alcotest.failf "missing series %s" key
+  in
+  checki "+Inf cumulative equals count"
+    (find_value "exp_dur_ns_count")
+    (find_value "exp_dur_ns_bucket{le=\"+Inf\"}")
+
+let test_json_lines_shape () =
+  let reg = mk_populated_registry () in
+  let out = Format.asprintf "%a" Telemetry.Export.json_lines reg in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+  checki "one line per metric" 4 (List.length lines);
+  List.iter
+    (fun l ->
+      checkb ("object line: " ^ l) true
+        (String.length l >= 2 && l.[0] = '{' && l.[String.length l - 1] = '}'))
+    lines
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_summary_renders () =
+  let reg = mk_populated_registry () in
+  let out = Format.asprintf "%a" (Telemetry.Export.pp_summary ?pp_duration:None) reg in
+  checkb "mentions every metric" true
+    (List.for_all (contains out) [ "exp_ops_total"; "exp_level"; "exp_dur_ns" ])
+
+(* {1 Clock} *)
+
+let test_clock_monotonic () =
+  let a = Telemetry.Clock.now_ns () in
+  let b = Telemetry.Clock.now_ns () in
+  checkb "clock never goes backward" true (b >= a);
+  checkb "plausible magnitude" true (a > 0);
+  checki "ns_of_s round trip" 1_500_000_000 (Telemetry.Clock.ns_of_s 1.5);
+  checkb "s_of_ns round trip" true (abs_float (Telemetry.Clock.s_of_ns 1_500_000_000 -. 1.5) < 1e-9)
+
+let test_deadline_stop_monotonic () =
+  (* deadline_stop rides the shared monotonic clock: zero fires at the
+     first poll, a generous deadline does not. *)
+  let s0 = Mcmf.Solver_intf.deadline_stop 0. in
+  checkb "zero deadline fires immediately" true (s0 ());
+  let s60 = Mcmf.Solver_intf.deadline_stop 60. in
+  checkb "generous deadline does not fire" false (s60 ())
+
+(* {1 Snapshot determinism} *)
+
+let test_snapshot_determinism () =
+  (* Two identical replays must leave identical counter values in the
+     global registry: the counters measure algorithmic work, which is
+     deterministic for a single-solver mode and fixed solver time.
+     (Duration histograms are wall-clock-dependent and excluded.) *)
+  let trace =
+    Cluster.Trace.generate
+      {
+        (Cluster.Trace.default_params ~machines:20 ()) with
+        target_utilization = 0.7;
+        horizon_s = 5.;
+        seed = 7;
+      }
+  in
+  let config =
+    {
+      Dcsim.Replay.default_config with
+      scheduler =
+        {
+          Firmament.Scheduler.default_config with
+          mode = Mcmf.Race.Relaxation_only;
+        };
+      solver_time = `Fixed 0.001;
+      max_rounds = Some 40;
+    }
+  in
+  let counters () =
+    List.filter_map
+      (fun (v : M.view) ->
+        match v.kind with
+        | M.Counter -> Some (v.name, v.data.(0))
+        | M.Gauge | M.Histogram -> None)
+      (M.views (M.global ()))
+  in
+  M.reset (M.global ());
+  T.reset (T.global ());
+  ignore (Dcsim.Replay.run config trace);
+  let first = counters () in
+  M.reset (M.global ());
+  T.reset (T.global ());
+  ignore (Dcsim.Replay.run config trace);
+  let second = counters () in
+  checkb "replay did some work" true
+    (List.exists (fun (_, v) -> v > 0) first);
+  Alcotest.(check (list (pair string int))) "identical counter snapshots" first second
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "zero and negative" `Quick test_bucket_zero_and_negative;
+          Alcotest.test_case "log2 boundaries" `Quick test_bucket_log_boundaries;
+          Alcotest.test_case "monotonicity" `Quick test_bucket_monotonic;
+          Alcotest.test_case "overflow clamp" `Quick test_bucket_overflow_clamp;
+          Alcotest.test_case "observe count/sum" `Quick test_histogram_observe;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "idempotent registration" `Quick test_registration_idempotent;
+          Alcotest.test_case "counter and gauge ops" `Quick test_counter_gauge_ops;
+          Alcotest.test_case "reset keeps registrations" `Quick
+            test_reset_keeps_registrations;
+        ] );
+      ( "ring",
+        [
+          Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "round epochs" `Quick test_ring_round_epochs;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus well-formed" `Quick test_prometheus_well_formed;
+          Alcotest.test_case "json lines shape" `Quick test_json_lines_shape;
+          Alcotest.test_case "summary renders" `Quick test_summary_renders;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "deadline_stop" `Quick test_deadline_stop_monotonic;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "identical replays, identical counters" `Quick
+            test_snapshot_determinism ] );
+    ]
