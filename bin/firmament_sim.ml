@@ -49,8 +49,8 @@ let export_metrics metrics_out metrics_json metrics_summary =
       reg
   end
 
-let run machines util horizon speedup seed policy mode max_rounds deadline metrics_out
-    metrics_json metrics_summary =
+let run machines util horizon speedup seed policy mode max_rounds deadline pipelined
+    metrics_out metrics_json metrics_summary =
   let trace =
     Cluster.Trace.generate
       {
@@ -72,11 +72,14 @@ let run machines util horizon speedup seed policy mode max_rounds deadline metri
       Dcsim.Replay.default_config with
       scheduler = { Firmament.Scheduler.default_config with mode; deadline };
       policy = policy_factory;
+      pipelined;
       max_rounds = Some max_rounds;
     }
   in
-  Printf.printf "replaying: %d machines, %.0f%% target utilization, %.0fs horizon, %gx speedup\n%!"
-    machines (util *. 100.) horizon speedup;
+  Printf.printf
+    "replaying: %d machines, %.0f%% target utilization, %.0fs horizon, %gx speedup%s\n%!"
+    machines (util *. 100.) horizon speedup
+    (if pipelined then ", pipelined rounds" else "");
   let m = Dcsim.Replay.run config trace in
   let open Dcsim.Replay in
   Printf.printf "rounds                 %d\n" m.rounds;
@@ -85,7 +88,14 @@ let run machines util horizon speedup seed policy mode max_rounds deadline metri
   Printf.printf "tasks placed           %d\n" m.tasks_placed;
   Printf.printf "preemptions            %d\n" m.preemptions;
   Printf.printf "migrations             %d\n" m.migrations;
+  if pipelined then begin
+    Printf.printf "events mid-solve       %d\n" m.events_absorbed_mid_solve;
+    Printf.printf "stale discards         %d\n" m.stale_placements
+  end;
   Printf.printf "simulated end          %.2f s\n" m.sim_end;
+  if m.structure_violations > 0 then
+    Printf.printf "WARNING: %d flow-network invariant violations at end of replay\n"
+      m.structure_violations;
   let series name xs =
     match xs with
     | [] -> Printf.printf "%-22s (none)\n" name
@@ -146,6 +156,16 @@ let cmd =
             "Per-round wall-clock deadline. A round that exceeds it degrades to \
              best-effort partial placement instead of running long.")
   in
+  let pipelined =
+    Arg.(
+      value & flag
+      & info [ "pipelined" ]
+          ~doc:
+            "Overlap solver execution with event ingestion: each round dispatches \
+             the solve, applies the trace events that fall inside the measured \
+             solver window while the solve runs, and commits with stale-aware \
+             reconciliation (discards are reported).")
+  in
   let metrics_out =
     Arg.(
       value
@@ -174,6 +194,6 @@ let cmd =
     (Cmd.info "firmament_sim" ~doc)
     Term.(
       const run $ machines $ util $ horizon $ speedup $ seed $ policy $ mode $ max_rounds
-      $ deadline $ metrics_out $ metrics_json $ metrics_summary)
+      $ deadline $ pipelined $ metrics_out $ metrics_json $ metrics_summary)
 
 let () = exit (Cmd.eval cmd)

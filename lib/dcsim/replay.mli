@@ -16,7 +16,23 @@ type config = {
   policy :
     drain:bool -> Firmament.Flow_network.t -> Cluster.State.t -> Firmament.Policy.t;
   solver_time : [ `Measured | `Fixed of float ];
-      (** [`Fixed] makes replay deterministic for tests *)
+      (** [`Measured] charges the solver's measured wall-clock runtime
+          {e and} the measured cost of applying each event batch to
+          simulated time — the scheduler is busy while it ingests, so
+          events queued behind a round delay it just like the solve
+          does. Events absorbed inside a pipelined solver window are
+          exempt: their ingestion overlaps the in-flight solve. [`Fixed]
+          charges exactly the given solve time and nothing for
+          ingestion, which makes replay deterministic for tests. *)
+  pipelined : bool;
+      (** when [true], each round dispatches the solve with
+          {!Firmament.Scheduler.begin_round} and applies the trace events
+          that fall inside the solver window {e while the solve is in
+          flight} (they reach the scheduler one round earlier than in the
+          synchronous model), then commits with stale-aware
+          reconciliation; discarded placements are reported in
+          [stale_placements]. The window is the measured solver runtime
+          (or the [`Fixed] time). Default [false]. *)
   max_sim_time : float option;
   max_rounds : int option;
 }
@@ -41,6 +57,17 @@ type metrics = {
   preemptions : int;
   migrations : int;
   unfinished_waiting : int;  (** tasks still waiting when replay ended *)
+  events_absorbed_mid_solve : int;
+      (** trace events applied while a pipelined solve was in flight
+          (always 0 when [pipelined = false]) *)
+  stale_placements : int;
+      (** solver placements the commit discarded instead of applying —
+          stale against mid-solve events or capacity-rejected; every one
+          is accounted here, none is silently committed *)
+  structure_violations : int;
+      (** flow-network invariant violations at end of replay (see
+          {!Firmament.Flow_network.validate_structure}); 0 on a healthy
+          run, pipelined or not *)
 }
 
 (** [run config trace] replays [trace] to completion (or to the configured

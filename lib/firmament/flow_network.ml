@@ -58,6 +58,8 @@ let kind t n =
   | Some k -> k
   | None -> invalid_arg (Printf.sprintf "Flow_network.kind: unknown node %d" n)
 
+let kind_opt t n = Hashtbl.find_opt t.kinds n
+
 let task_count t = t.n_tasks
 
 let add_task t tid =

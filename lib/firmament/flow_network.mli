@@ -41,6 +41,10 @@ val set_graph : t -> Flowgraph.Graph.t -> unit
 val sink : t -> Flowgraph.Graph.node
 val kind : t -> Flowgraph.Graph.node -> node_kind
 
+(** [kind_opt t n] is {!kind} but returns [None] for a node the network no
+    longer tracks — e.g. one removed since a solver snapshot was taken. *)
+val kind_opt : t -> Flowgraph.Graph.node -> node_kind option
+
 (** {1 Node management} *)
 
 (** [add_task t tid] creates the task's source node (supply 1) and grows

@@ -150,6 +150,67 @@ let extract_partial net =
       out := { task = tid; machine = walk node 0 } :: !out);
   List.sort (fun a b -> compare a.task b.task) !out
 
+let extract_snapshot g ~sink ~classify ~tasks =
+  (* Same budget/backtracking walk as [extract_partial], but over a solver
+     snapshot that may have diverged from the live network: node
+     classification goes through [classify] (which the scheduler builds
+     from the live tables plus its mid-solve event log) instead of the
+     network's own kind table, so task and machine nodes removed — or
+     whose ids were recycled — after the snapshot was taken are still
+     interpreted as the snapshot saw them. *)
+  let budget : (G.arc, int) Hashtbl.t = Hashtbl.create 256 in
+  let remaining a =
+    match Hashtbl.find_opt budget a with Some r -> r | None -> G.flow g a
+  in
+  let consume a = Hashtbl.replace budget a (remaining a - 1) in
+  let refund a = Hashtbl.replace budget a (remaining a + 1) in
+  let claim_sink_unit n =
+    let sa = ref (-1) in
+    let it = ref (G.first_out g n) in
+    while !sa < 0 && !it >= 0 do
+      let a = !it in
+      if G.is_forward a && G.dst g a = sink then sa := a;
+      it := G.next_out g a
+    done;
+    if !sa >= 0 && remaining !sa > 0 then begin
+      consume !sa;
+      true
+    end
+    else false
+  in
+  let rec expand n hops =
+    let result = ref None in
+    let it = ref (G.first_out g n) in
+    while !result = None && !it >= 0 do
+      let a = !it in
+      if G.is_forward a && remaining a > 0 then begin
+        consume a;
+        match walk (G.dst g a) (hops + 1) with
+        | Some _ as r -> result := r
+        | None -> refund a
+      end;
+      it := G.next_out g a
+    done;
+    !result
+  and walk n hops =
+    if hops > 64 || n = sink then None
+    else
+      match classify n with
+      | `Machine m -> if claim_sink_unit n then Some m else None
+      | `Blocked -> None
+      | `Through -> expand n hops
+  in
+  List.sort
+    (fun a b -> compare a.task b.task)
+    (List.rev_map
+       (fun (tid, node) ->
+         (* The entry node is always walked as a pass-through: it is the
+            task's own node in the snapshot, whatever its id maps to in
+            the live network by now. *)
+         let machine = if G.node_is_live g node then expand node 0 else None in
+         { task = tid; machine })
+       tasks)
+
 let extract_map net =
   let tbl = Hashtbl.create 256 in
   List.iter

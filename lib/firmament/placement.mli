@@ -41,3 +41,24 @@ val extract_map :
     {!extract} this never fails, but concurrent units through an
     aggregator may be attributed to either upstream task. *)
 val extract_partial : Flow_network.t -> assignment list
+
+(** [extract_snapshot g ~sink ~classify ~tasks] is the {!extract_partial}
+    walk applied to a solver {e snapshot} [g] that may have structurally
+    diverged from the live network (nodes added or removed by cluster
+    events absorbed while the solve was in flight). [tasks] lists the
+    tasks that existed when the snapshot was taken, with their node ids
+    {e in the snapshot}; [classify] maps an interior node to how the
+    snapshot saw it — [`Machine m] (a machine, possibly failed since; the
+    walk claims a unit of its sink arc), [`Through] (an aggregator), or
+    [`Blocked] (unscheduled aggregators and anything unroutable). Entry
+    nodes are always treated as pass-through. On an optimal snapshot this
+    is an exact flow decomposition; on a pseudoflow it is best-effort and
+    capacity-valid, like {!extract_partial}. *)
+val extract_snapshot :
+  Flowgraph.Graph.t ->
+  sink:Flowgraph.Graph.node ->
+  classify:
+    (Flowgraph.Graph.node ->
+    [ `Machine of Cluster.Types.machine_id | `Through | `Blocked ]) ->
+  tasks:(Cluster.Types.task_id * Flowgraph.Graph.node) list ->
+  assignment list

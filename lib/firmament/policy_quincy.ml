@@ -69,6 +69,14 @@ let make ?(config = default_config) ~drain net cluster =
     + (config.wait_cost_per_second
       * int_of_float (Float.max 0. (now -. task.Cluster.Workload.submit_time)))
   in
+  (* Each waiting task's unscheduled-arc handle, maintained by
+     [install_arcs] (which replaces the arc) and [task_finished] (which
+     removes the node). Arc handles survive graph adoption because the
+     race deals in structure-preserving copies, so [refresh] can update
+     wait costs without re-finding the arc by scan every round. *)
+  let unsched_arcs : (Cluster.Types.task_id, G.arc) Hashtbl.t =
+    Hashtbl.create 256
+  in
   (* Remove every outgoing arc of the task node, then install the arcs of
      Fig. 6b: unscheduled, wildcard via X, and preference arcs to machines
      and racks above the locality threshold. *)
@@ -87,7 +95,8 @@ let make ?(config = default_config) ~drain net cluster =
     done;
     List.iter (fun a -> G.remove_arc gr a) !stale;
     let u = FN.ensure_unscheduled net task.Cluster.Workload.job in
-    ignore (G.add_arc gr ~src:tn ~dst:u ~cost:(unsched_cost task ~now) ~cap:1);
+    Hashtbl.replace unsched_arcs tid
+      (G.add_arc gr ~src:tn ~dst:u ~cost:(unsched_cost task ~now) ~cap:1);
     let cost_remote = transfer_cost task in
     ignore (G.add_arc gr ~src:tn ~dst:x ~cost:cost_remote ~cap:1);
     let fractions = locality_fractions task in
@@ -133,6 +142,7 @@ let make ?(config = default_config) ~drain net cluster =
     Policy.adjust_unscheduled_capacity net task.Cluster.Workload.job ~delta:1
   in
   let task_finished (task : Cluster.Workload.task) =
+    Hashtbl.remove unsched_arcs task.Cluster.Workload.tid;
     FN.remove_task net task.Cluster.Workload.tid ~drain;
     Policy.adjust_unscheduled_capacity net task.Cluster.Workload.job ~delta:(-1)
   in
@@ -156,20 +166,31 @@ let make ?(config = default_config) ~drain net cluster =
     install_arcs task ~now:task.Cluster.Workload.submit_time
   in
   let machine_failed m = FN.remove_machine net m in
-  let machine_restored m = ignore (ensure_machine m) in
+  let machine_restored m =
+    ignore (ensure_machine m);
+    (* A failed machine's preference arcs were dropped with its node (and
+       [install_arcs] skips dead machines), so waiting tasks whose inputs
+       live on [m] are left with only wildcard routes. Reinstall their arc
+       sets now that the machine (and its rack path) is back, so the next
+       round can place them locally again. *)
+    List.iter
+      (fun (task : Cluster.Workload.task) ->
+        if List.mem m task.Cluster.Workload.input_machines then
+          install_arcs task ~now:task.Cluster.Workload.submit_time)
+      (Cluster.State.waiting_tasks cluster)
+  in
   let refresh ~now =
     let gr = g () in
     List.iter
       (fun (task : Cluster.Workload.task) ->
-        match FN.task_node net task.Cluster.Workload.tid with
+        match Hashtbl.find_opt unsched_arcs task.Cluster.Workload.tid with
         | None -> ()
-        | Some tn -> (
-            match FN.unscheduled_node net task.Cluster.Workload.job with
-            | None -> ()
-            | Some u -> (
-                match FN.find_arc net tn u with
-                | Some a -> G.set_cost gr a (unsched_cost task ~now)
-                | None -> ())))
+        | Some a ->
+            (* [unsched_cost] quantizes waiting time to whole seconds, so
+               the cost is unchanged on most rounds; only touch the graph
+               (and dirty the solver's warm start) when it moved. *)
+            let c = unsched_cost task ~now in
+            if G.cost gr a <> c then G.set_cost gr a c)
       (Cluster.State.waiting_tasks cluster)
   in
   {

@@ -31,6 +31,23 @@
     mid-solve between rounds — {!Mcmf.Race.solve} works on copies, and a
     degraded round keeps the pre-round graph.
 
+    {2 Pipelined rounds}
+
+    A round can also be split at the solver boundary: {!begin_round}
+    refreshes the policy, stamps the round epoch and dispatches the solve
+    on a snapshot; {!commit_round} awaits the result and applies it.
+    Between the two, cluster events ({!submit_job}, {!finish_task},
+    {!fail_machine}, {!restore_machine}) may mutate the canonical graph —
+    the solver works on its own copies. At commit, placements involving a
+    task or machine invalidated mid-solve are {e discarded} rather than
+    applied (reported in [round.discarded] with a {!discard_reason}), and
+    every remaining placement is re-checked against the authoritative
+    cluster state, so absorbed events can never be double-booked or
+    silently undone. When events interleaved with an optimal solve, the
+    solved snapshot is read through the mid-solve event log and the
+    canonical (event-current) graph is kept as the next warm start; when
+    nothing interleaved, commit takes exactly the synchronous paths.
+
     Configured with [mode = Cost_scaling_scratch_only] and the Quincy
     policy, this {e is} the paper's Quincy baseline (§7.1). *)
 
@@ -55,6 +72,14 @@ type degraded = [ `None | `Partial | `Infeasible_retry | `Failed ]
 
 val pp_degraded : Format.formatter -> degraded -> unit
 
+(** Why a solver placement was dropped at commit instead of applied:
+    the task finished or was preempted mid-solve ([`Stale_task]), the
+    target machine failed mid-solve ([`Stale_machine]), or the
+    authoritative capacity re-check found no free slot ([`Capacity]). *)
+type discard_reason = [ `Stale_task | `Stale_machine | `Capacity ]
+
+val pp_discard_reason : Format.formatter -> discard_reason -> unit
+
 (** What one scheduling round did. *)
 type round = {
   winner : Mcmf.Race.winner;
@@ -71,15 +96,24 @@ type round = {
       (** (task, from, to) *)
   preempted : Cluster.Types.task_id list;
   unscheduled : int;  (** live tasks left waiting by this round *)
+  discarded : (Cluster.Types.task_id * discard_reason) list;
+      (** solver placements dropped at commit: stale (the task or target
+          machine was invalidated by an event absorbed mid-solve) or
+          capacity-rejected. Always [[]] on a synchronous {!schedule}
+          round with no concurrent events. *)
   phase_ns : (string * int) list;
       (** where the round's wall time went, as [(phase, nanoseconds)] in
           execution order. Phases are measured with contiguous monotonic
           checkpoints, so the durations sum to the round's wall time
-          exactly. Always starts [("refresh", _); ("solve", _)]; an
-          optimal round continues [adopt; extract; prepare; apply], a
-          [`Partial] round [extract; apply], a [`Failed] round [apply] —
-          which is what shows where a deadline-bounded round actually
-          spent its budget. *)
+          exactly — for a pipelined round, the wall time {e excluding}
+          the overlap window between [begin_round] and [commit_round]
+          (the solve phase counts the dispatch and wait halves only).
+          Always starts [("refresh", _); ("solve", _)]; an optimal round
+          continues [adopt; extract; prepare; apply] (or
+          [extract; apply] when mid-solve events forced reconciliation),
+          a [`Partial] round [extract; apply], a [`Failed] round
+          [apply] — which is what shows where a deadline-bounded round
+          actually spent its budget. *)
 }
 
 type t
@@ -113,8 +147,36 @@ val restore_machine : t -> Cluster.Types.machine_id -> unit
 (** [schedule ?stop t ~now] runs one round. Never raises on an infeasible
     or deadline-stopped solve: the round reports how it degraded in
     [round.degraded] (see the ladder above). [stop] is combined with the
-    configured round deadline, if any. *)
+    configured round deadline, if any. Equivalent to
+    [commit_round t (begin_round ?stop t ~now) ~now]. *)
 val schedule : ?stop:Mcmf.Solver_intf.stop -> t -> now:float -> round
+
+(** A scheduling round in flight: dispatched by {!begin_round}, awaiting
+    {!commit_round}. *)
+type pending
+
+(** [begin_round ?stop t ~now] refreshes the policy, stamps the round
+    epoch and dispatches the solve on a snapshot of the flow network
+    (under [mode = Race_parallel] the solvers run on background domains;
+    sequential modes solve eagerly here). Cluster events may be applied
+    to [t] while the round is pending. At most one round may be in
+    flight per scheduler.
+    @raise Invalid_argument if a round is already pending. *)
+val begin_round : ?stop:Mcmf.Solver_intf.stop -> t -> now:float -> pending
+
+(** [poll t p] is [true] once the dispatched solve has finished (always
+    [true] under the sequential modes). *)
+val poll : t -> pending -> bool
+
+(** [solver_runtime t p] blocks until the solve finishes and returns the
+    winner's wall-clock runtime in seconds — what a simulator needs to
+    know how long the solver window was, before committing. *)
+val solver_runtime : t -> pending -> float
+
+(** [commit_round t p ~now] awaits the solve and applies its result with
+    stale-aware reconciliation (see the module docs).
+    @raise Invalid_argument if [p] is not the round in flight. *)
+val commit_round : t -> pending -> now:float -> round
 
 (** Current task → machine assignment (running tasks only). *)
 val assignments :

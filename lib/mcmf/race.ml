@@ -52,6 +52,9 @@ type t = {
   pr_ws : Price_refine.workspace;
   mutable scratch_a : G.t option;
   mutable scratch_b : G.t option;
+  (* The scratch pool and the solver workspaces are single-occupancy, so
+     at most one submitted solve may be outstanding at a time. *)
+  mutable in_flight : bool;
 }
 
 let create ?(alpha = 9) ?(price_refine = true) ~mode () =
@@ -63,6 +66,7 @@ let create ?(alpha = 9) ?(price_refine = true) ~mode () =
     pr_ws = Price_refine.create_workspace ();
     scratch_a = None;
     scratch_b = None;
+    in_flight = false;
   }
 
 let mode t = t.mode
@@ -198,11 +202,71 @@ let solve_sequential ?stop ~scratch t g =
   reclaim t r [ g_rx; g_cs ];
   r
 
-(* Parallel race: both algorithms run in their own domain on their own
-   copy; the first Optimal finisher flips the shared cancel flag. Each
-   domain uses a distinct persistent workspace ([rx_ws] vs. [cs_state]'s),
-   so the scratch sharing is race-free. *)
-let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
+let solve_relaxation_only ?stop ~scratch t g =
+  let c = take t g in
+  if scratch then G.reset_flow c;
+  let t0 = Telemetry.Trace.span_begin () in
+  let rx = Relaxation.solve ?stop ~workspace:t.rx_ws c in
+  Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
+  Telemetry.Metrics.observe m m_rx_ns (Telemetry.Clock.ns_of_s rx.Solver_intf.runtime);
+  Telemetry.Metrics.incr m m_wins_rx;
+  let r =
+    finish ~input:g ~solved:c ~winner:Relaxation ~relaxation_stats:(Some rx)
+      ~cost_scaling_stats:None rx
+  in
+  reclaim t r [ c ];
+  r
+
+let solve_cost_scaling_only ?stop ~incremental t g =
+  let c = take t g in
+  let t0 = Telemetry.Trace.span_begin () in
+  let cs = Cost_scaling.solve ?stop ~incremental t.cs_state c in
+  Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+  Telemetry.Metrics.observe m m_cs_ns (Telemetry.Clock.ns_of_s cs.Solver_intf.runtime);
+  Telemetry.Metrics.incr m m_wins_cs;
+  let r =
+    finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
+      ~cost_scaling_stats:(Some cs) cs
+  in
+  reclaim t r [ c ];
+  r
+
+let solve_incremental_cs ?stop ~scratch t g =
+  let c = take t g in
+  if scratch then G.reset_flow c;
+  let t0 = Telemetry.Trace.span_begin () in
+  let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state c in
+  Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+  Telemetry.Metrics.observe m m_cs_ns (Telemetry.Clock.ns_of_s cs.Solver_intf.runtime);
+  Telemetry.Metrics.incr m m_wins_cs;
+  let r =
+    finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
+      ~cost_scaling_stats:(Some cs) cs
+  in
+  reclaim t r [ c ];
+  r
+
+(* A submitted solve. The working copies were taken from the input at
+   submit time, so the caller may mutate the input graph while the solve
+   is outstanding. [Done] wraps a solve that ran eagerly during submit
+   (sequential modes); [Running] tracks detached racing domains. *)
+type inflight = {
+  r_owner : t;
+  r_copies : G.t list;
+  r_done : int Atomic.t;  (* finished racers; poll is ready at [r_total] *)
+  r_total : int;
+  r_join : unit -> result;  (* joins the domains and assembles the result *)
+  mutable r_result : result option;
+}
+
+type handle = Done of result | Running of inflight
+
+(* Parallel race, detached: both algorithms run in their own domain on
+   their own copy; the first Optimal finisher flips the shared cancel
+   flag. Each domain uses a distinct persistent workspace ([rx_ws] vs.
+   [cs_state]'s), so the scratch sharing is race-free. The domains are
+   joined by {!await}, behind the returned handle. *)
+let submit_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
   let g_rx = take t g in
   let g_cs = take t g in
   if scratch then begin
@@ -217,11 +281,13 @@ let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
     | Solver_intf.Infeasible | Solver_intf.Stopped -> ());
     stats
   in
+  let finished = Atomic.make 0 in
   let d_rx =
     Domain.spawn (fun () ->
         let t0 = Telemetry.Trace.span_begin () in
         let st = announce (Relaxation.solve ~stop:stop' ~workspace:t.rx_ws g_rx) in
         Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
+        Atomic.incr finished;
         st)
   in
   let d_cs =
@@ -232,57 +298,49 @@ let solve_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
             (Cost_scaling.solve ~stop:stop' ~incremental:(not scratch) t.cs_state g_cs)
         in
         Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+        Atomic.incr finished;
         st)
   in
-  let rx = Domain.join d_rx in
-  let cs = Domain.join d_cs in
-  let r = two_solver_result ~input:g ~g_rx ~g_cs rx cs in
-  reclaim t r [ g_rx; g_cs ];
-  r
+  t.in_flight <- true;
+  let join () =
+    let rx = Domain.join d_rx in
+    let cs = Domain.join d_cs in
+    two_solver_result ~input:g ~g_rx ~g_cs rx cs
+  in
+  Running
+    {
+      r_owner = t;
+      r_copies = [ g_rx; g_cs ];
+      r_done = finished;
+      r_total = 2;
+      r_join = join;
+      r_result = None;
+    }
 
-let solve ?stop ?(scratch = false) t g =
+let submit ?stop ?(scratch = false) t g =
+  if t.in_flight then invalid_arg "Race.submit: a solve is already in flight";
   Telemetry.Metrics.incr m m_solves;
   match t.mode with
-  | Relaxation_only ->
-      let c = take t g in
-      if scratch then G.reset_flow c;
-      let t0 = Telemetry.Trace.span_begin () in
-      let rx = Relaxation.solve ?stop ~workspace:t.rx_ws c in
-      Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
-      Telemetry.Metrics.observe m m_rx_ns (Telemetry.Clock.ns_of_s rx.Solver_intf.runtime);
-      Telemetry.Metrics.incr m m_wins_rx;
-      let r =
-        finish ~input:g ~solved:c ~winner:Relaxation ~relaxation_stats:(Some rx)
-          ~cost_scaling_stats:None rx
-      in
-      reclaim t r [ c ];
-      r
-  | Incremental_cost_scaling_only ->
-      let c = take t g in
-      if scratch then G.reset_flow c;
-      let t0 = Telemetry.Trace.span_begin () in
-      let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state c in
-      Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
-      Telemetry.Metrics.observe m m_cs_ns (Telemetry.Clock.ns_of_s cs.Solver_intf.runtime);
-      Telemetry.Metrics.incr m m_wins_cs;
-      let r =
-        finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
-          ~cost_scaling_stats:(Some cs) cs
-      in
-      reclaim t r [ c ];
-      r
-  | Cost_scaling_scratch_only ->
-      let c = take t g in
-      let t0 = Telemetry.Trace.span_begin () in
-      let cs = Cost_scaling.solve ?stop ~incremental:false t.cs_state c in
-      Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
-      Telemetry.Metrics.observe m m_cs_ns (Telemetry.Clock.ns_of_s cs.Solver_intf.runtime);
-      Telemetry.Metrics.incr m m_wins_cs;
-      let r =
-        finish ~input:g ~solved:c ~winner:Cost_scaling ~relaxation_stats:None
-          ~cost_scaling_stats:(Some cs) cs
-      in
-      reclaim t r [ c ];
-      r
-  | Fastest_sequential -> solve_sequential ?stop ~scratch t g
-  | Race_parallel -> solve_parallel ?stop ~scratch t g
+  | Relaxation_only -> Done (solve_relaxation_only ?stop ~scratch t g)
+  | Incremental_cost_scaling_only -> Done (solve_incremental_cs ?stop ~scratch t g)
+  | Cost_scaling_scratch_only -> Done (solve_cost_scaling_only ?stop ~incremental:false t g)
+  | Fastest_sequential -> Done (solve_sequential ?stop ~scratch t g)
+  | Race_parallel -> submit_parallel ?stop ~scratch t g
+
+let poll = function
+  | Done _ -> true
+  | Running i -> i.r_result <> None || Atomic.get i.r_done >= i.r_total
+
+let await = function
+  | Done r -> r
+  | Running i -> (
+      match i.r_result with
+      | Some r -> r
+      | None ->
+          let r = i.r_join () in
+          reclaim i.r_owner r i.r_copies;
+          i.r_owner.in_flight <- false;
+          i.r_result <- Some r;
+          r)
+
+let solve ?stop ?scratch t g = await (submit ?stop ?scratch t g)

@@ -73,12 +73,41 @@ type result = {
     runs cost scaling, or the flow is not optimal (first run). *)
 val prepare : t -> Flowgraph.Graph.t -> unit
 
-(** [solve ?stop ?scratch t g] solves the (already updated) graph [g].
-    [g] itself is never mutated: every algorithm runs on a
-    structure-preserving copy (same node/arc ids), and [result.graph] is
-    the copy to adopt on success or [g] itself on a degraded outcome.
-    Never raises on infeasibility or cancellation — inspect
-    [result.stats.outcome]. When the two-solver modes disagree, an
+(** A submitted solve. The working copies are taken from the input graph
+    {e at submit time}, so the caller is free to mutate the input (apply
+    cluster events, refresh costs) while the solve is outstanding — that
+    is what makes pipelined scheduling rounds sound. *)
+type handle
+
+(** [submit ?stop ?scratch t g] dispatches a solve of [g] and returns
+    immediately. In [Race_parallel] mode the two racing domains run
+    detached behind the handle until {!await} joins them; in the
+    sequential modes the solve runs eagerly during [submit] (there is no
+    second core to overlap with) and the handle is ready at once. Either
+    way the scratch copies are taken before [submit] returns, so [g] may
+    be mutated afterwards without affecting the result.
+
+    At most one solve may be outstanding per [t] (the scratch pool and
+    solver workspaces are single-occupancy).
+    @raise Invalid_argument if a previous submit has not been awaited. *)
+val submit :
+  ?stop:Solver_intf.stop -> ?scratch:bool -> t -> Flowgraph.Graph.t -> handle
+
+(** [poll h] is [true] once every racer has finished, i.e. once {!await}
+    will return without blocking. *)
+val poll : handle -> bool
+
+(** [await h] joins the racing domains (if any), assembles the result and
+    returns the scratch copies the result does not expose to the pool.
+    Idempotent: further calls return the memoized result. *)
+val await : handle -> result
+
+(** [solve ?stop ?scratch t g] is [await (submit ?stop ?scratch t g)] —
+    the synchronous round. [g] itself is never mutated: every algorithm
+    runs on a structure-preserving copy (same node/arc ids), and
+    [result.graph] is the copy to adopt on success or [g] itself on a
+    degraded outcome. Never raises on infeasibility or cancellation —
+    inspect [result.stats.outcome]. When the two-solver modes disagree, an
     [Infeasible] verdict (a sound proof) takes precedence over [Stopped].
 
     [~scratch:true] discards the warm start: copies get a fresh

@@ -717,6 +717,220 @@ let test_scheduler_phase_attribution () =
   checkb "phase sum ~ round wall time" true
     (float_of_int sum >= 0.9 *. float_of_int wall)
 
+(* {1 Pipelined rounds} *)
+
+let discard_reason_t =
+  Alcotest.testable Firmament.Scheduler.pp_discard_reason (fun a b -> a = b)
+
+let round_sig (r : Firmament.Scheduler.round) =
+  ( r.Firmament.Scheduler.degraded,
+    r.Firmament.Scheduler.started,
+    r.Firmament.Scheduler.migrated,
+    r.Firmament.Scheduler.preempted,
+    r.Firmament.Scheduler.unscheduled,
+    r.Firmament.Scheduler.discarded )
+
+(* A four-step cluster scenario (placements, completions, a machine
+   failure, a restore) whose per-round optimum is unique — every
+   candidate path has a strictly distinct cost — so two runs must produce
+   identical rounds even under the nondeterministic parallel race. *)
+let equivalence_script sched run_round =
+  let task ~tid ~job ~submit ~prefer ~alt =
+    quincy_task ~tid ~job ~submit ~duration:100. ~input_mb:90.
+      ~input_machines:[ prefer; prefer; alt ]
+  in
+  Firmament.Scheduler.submit_job sched
+    (job_of_tasks ~jid:0 ~submit:0.
+       (List.init 8 (fun i ->
+            task ~tid:i ~job:0 ~submit:0. ~prefer:(i mod 4) ~alt:((i + 2) mod 4))));
+  let r1 = run_round ~now:0. in
+  Firmament.Scheduler.finish_task sched 0 ~now:5.;
+  Firmament.Scheduler.finish_task sched 1 ~now:5.;
+  Firmament.Scheduler.submit_job sched
+    (job_of_tasks ~jid:1 ~submit:5.
+       [
+         task ~tid:100 ~job:1 ~submit:5. ~prefer:0 ~alt:2;
+         task ~tid:101 ~job:1 ~submit:5. ~prefer:1 ~alt:3;
+       ]);
+  let r2 = run_round ~now:5. in
+  Firmament.Scheduler.fail_machine sched 3;
+  let r3 = run_round ~now:6. in
+  Firmament.Scheduler.restore_machine sched 3;
+  let r4 = run_round ~now:7. in
+  [ r1; r2; r3; r4 ]
+
+let test_pipeline_equivalence_across_modes () =
+  (* Driving rounds as begin_round + await + commit_round with no events
+     in between must be indistinguishable from the synchronous schedule
+     call: same starts, migrations, preemptions and (absent) discards,
+     and an equally optimal adopted graph — in every race mode. *)
+  List.iter
+    (fun mode ->
+      let mk () =
+        let cluster = mk_cluster ~machines:4 ~slots:2 in
+        Firmament.Scheduler.create
+          ~config:{ Firmament.Scheduler.default_config with mode }
+          cluster
+          ~policy:(fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st)
+      in
+      let sync_sched = mk () in
+      let sync_rounds =
+        equivalence_script sync_sched (fun ~now ->
+            Firmament.Scheduler.schedule sync_sched ~now)
+      in
+      let split_sched = mk () in
+      let split_rounds =
+        equivalence_script split_sched (fun ~now ->
+            let p = Firmament.Scheduler.begin_round split_sched ~now in
+            let rt = Firmament.Scheduler.solver_runtime split_sched p in
+            checkb "solver runtime non-negative" true (rt >= 0.);
+            checkb "poll true after await" true
+              (Firmament.Scheduler.poll split_sched p);
+            Firmament.Scheduler.commit_round split_sched p ~now)
+      in
+      checki "both ran four rounds" (List.length sync_rounds) (List.length split_rounds);
+      List.iteri
+        (fun i (a, b) ->
+          checkb (Printf.sprintf "round %d identical" (i + 1)) true
+            (round_sig a = round_sig b);
+          checkb (Printf.sprintf "round %d has no discards" (i + 1)) true
+            (a.Firmament.Scheduler.discarded = []))
+        (List.combine sync_rounds split_rounds);
+      checki "first round places all eight" 8
+        (List.length (List.hd sync_rounds).Firmament.Scheduler.started);
+      let g_of s = FN.graph (Firmament.Scheduler.network s) in
+      checkb "sync graph optimal" true (Flowgraph.Validate.is_optimal (g_of sync_sched));
+      checkb "split graph optimal" true (Flowgraph.Validate.is_optimal (g_of split_sched));
+      checki "same adopted solution cost"
+        (G.total_cost (g_of sync_sched))
+        (G.total_cost (g_of split_sched)))
+    all_race_modes
+
+let test_pipeline_stale_reconciliation () =
+  (* Events absorbed while a solve is in flight invalidate exactly the
+     placements they touch — the commit discards those, applies the rest,
+     and leaves the warm start certified. *)
+  let cluster = mk_cluster ~machines:3 ~slots:2 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_quincy.make ~drain net st)
+  in
+  let pref ~tid ~job ~m ~submit =
+    quincy_task ~tid ~job ~submit ~duration:100. ~input_mb:90.
+      ~input_machines:[ m; m; m ]
+  in
+  Firmament.Scheduler.submit_job sched
+    (job_of_tasks ~jid:0 ~submit:0.
+       [
+         pref ~tid:0 ~job:0 ~m:0 ~submit:0.;
+         pref ~tid:1 ~job:0 ~m:1 ~submit:0.;
+         pref ~tid:2 ~job:0 ~m:2 ~submit:0.;
+       ]);
+  let r1 = solve_sched sched ~now:0. in
+  checki "three running" 3 (List.length r1.Firmament.Scheduler.started);
+  Firmament.Scheduler.submit_job sched
+    (job_of_tasks ~jid:1 ~submit:1.
+       [
+         pref ~tid:10 ~job:1 ~m:0 ~submit:1.;
+         pref ~tid:11 ~job:1 ~m:1 ~submit:1.;
+         pref ~tid:12 ~job:1 ~m:2 ~submit:1.;
+       ]);
+  let p = Firmament.Scheduler.begin_round sched ~now:1. in
+  (* Mid-solve: task 0 finishes; machine 2 dies, taking task 2 with it.
+     The in-flight snapshot still routes 0 -> m0, 2 -> m2, 12 -> m2. *)
+  Firmament.Scheduler.finish_task sched 0 ~now:1.;
+  Firmament.Scheduler.fail_machine sched 2;
+  let r2 = Firmament.Scheduler.commit_round sched p ~now:1. in
+  Alcotest.(check (list (pair int int)))
+    "fresh placements commit" [ (10, 0); (11, 1) ] r2.Firmament.Scheduler.started;
+  Alcotest.(check (list (pair int discard_reason_t)))
+    "exactly the stale placements discarded"
+    [ (0, `Stale_task); (2, `Stale_task); (12, `Stale_machine) ]
+    r2.Firmament.Scheduler.discarded;
+  checki "no bogus preemptions" 0 (List.length r2.Firmament.Scheduler.preempted);
+  checki "no bogus migrations" 0 (List.length r2.Firmament.Scheduler.migrated);
+  checkb "network invariants hold" true
+    (FN.validate_structure (Firmament.Scheduler.network sched) = []);
+  (* The canonical graph was never corrupted by the stale snapshot: the
+     next full round is clean and places the remaining waiting work. *)
+  Firmament.Scheduler.restore_machine sched 2;
+  let r3 = solve_sched sched ~now:2. in
+  Alcotest.check degraded_t "warm start still certified" `None
+    r3.Firmament.Scheduler.degraded;
+  checki "victims and discards rescheduled" 2
+    (List.length r3.Firmament.Scheduler.started);
+  checki "none waiting" 0 (Cluster.State.waiting_count cluster)
+
+let test_pipeline_one_round_in_flight () =
+  let cluster = mk_cluster ~machines:2 ~slots:1 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_load_spread.make ~drain net st)
+  in
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:1 ~submit:0. ~duration:10.);
+  let p = Firmament.Scheduler.begin_round sched ~now:0. in
+  Alcotest.check_raises "second begin rejected"
+    (Invalid_argument "Scheduler.begin_round: a round is already in flight")
+    (fun () -> ignore (Firmament.Scheduler.begin_round sched ~now:0.));
+  let r = Firmament.Scheduler.commit_round sched p ~now:0. in
+  checki "placed" 1 (List.length r.Firmament.Scheduler.started);
+  Alcotest.check_raises "double commit rejected"
+    (Invalid_argument "Scheduler.commit_round: not the round in flight")
+    (fun () -> ignore (Firmament.Scheduler.commit_round sched p ~now:0.))
+
+let test_quincy_machine_restored_reinstalls_preferences () =
+  (* Regression: a task submitted while its data's machine is down gets
+     no preference arc (dead machines are skipped); restoring the machine
+     must reinstall the arc so the next round can place the task on its
+     data instead of anywhere via the wildcard. *)
+  let cluster = mk_cluster ~machines:2 ~slots:2 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_quincy.make ~drain net st)
+  in
+  Firmament.Scheduler.fail_machine sched 1;
+  Firmament.Scheduler.submit_job sched
+    (job_of_tasks ~jid:0 ~submit:0.
+       [
+         quincy_task ~tid:0 ~job:0 ~submit:0. ~duration:10. ~input_mb:500.
+           ~input_machines:[ 1; 1; 1 ];
+       ]);
+  let net = Firmament.Scheduler.network sched in
+  let tn = Option.get (FN.task_node net 0) in
+  Firmament.Scheduler.restore_machine sched 1;
+  (match FN.machine_node net 1 with
+  | Some mn -> checkb "preference arc reinstalled" true (FN.find_arc net tn mn <> None)
+  | None -> Alcotest.fail "machine 1 missing after restore");
+  let r = solve_sched sched ~now:1. in
+  Alcotest.(check (list (pair int int)))
+    "placed on its data" [ (0, 1) ] r.Firmament.Scheduler.started
+
+let test_quincy_refresh_wait_cost_bucketing () =
+  (* Wait-cost aging is quantized to whole seconds: refreshes within the
+     same bucket must not touch arc costs at all (no churn into the
+     incremental solver's warm start), while crossing a bucket boundary
+     must reprice the cached unscheduled arc — including across rounds
+     that adopted fresh graph copies. *)
+  let cluster = mk_cluster ~machines:1 ~slots:1 in
+  let sched =
+    Firmament.Scheduler.create cluster ~policy:(fun ~drain net st ->
+        Firmament.Policy_quincy.make ~drain net st)
+  in
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:2 ~submit:0. ~duration:100.);
+  let _ = solve_sched sched ~now:0. in
+  checki "one waits" 1 (Cluster.State.waiting_count cluster);
+  let cost_changes () =
+    (Flowgraph.Graph.peek_changes (FN.graph (Firmament.Scheduler.network sched)))
+      .Flowgraph.Graph.cost_changes
+  in
+  let c0 = cost_changes () in
+  let _ = solve_sched sched ~now:0.4 in
+  let _ = solve_sched sched ~now:0.9 in
+  checki "no cost churn within a wait bucket" 0 (cost_changes () - c0);
+  let c1 = cost_changes () in
+  let _ = solve_sched sched ~now:2.5 in
+  checkb "bucket crossing reprices the unscheduled arc" true (cost_changes () > c1)
+
 let () =
   Alcotest.run "firmament"
     [
@@ -783,5 +997,17 @@ let () =
           Alcotest.test_case "config deadline" `Quick test_scheduler_config_deadline;
           Alcotest.test_case "partial round attributes phases" `Quick
             test_scheduler_phase_attribution;
+        ] );
+      ( "pipelined-rounds",
+        [
+          Alcotest.test_case "split round equals synchronous round" `Quick
+            test_pipeline_equivalence_across_modes;
+          Alcotest.test_case "stale placements reconciled at commit" `Quick
+            test_pipeline_stale_reconciliation;
+          Alcotest.test_case "one round in flight" `Quick test_pipeline_one_round_in_flight;
+          Alcotest.test_case "machine restore reinstalls preferences" `Quick
+            test_quincy_machine_restored_reinstalls_preferences;
+          Alcotest.test_case "refresh quantizes wait-cost churn" `Quick
+            test_quincy_refresh_wait_cost_bucketing;
         ] );
     ]
