@@ -207,6 +207,14 @@ type t = {
      incremental solvers read it through their own channel). *)
   mutable last_changes : Flowgraph.Graph.change_summary;
   mutable pending : pending option;
+  (* Debug observer for the fuzz harness: called once per committed round
+     with the round record, the canonical post-commit graph and — on rounds
+     that adopted a certified-optimal solve — a pre-commit snapshot of that
+     solution (the post-commit graph itself already carries the placement
+     diff's policy mutations, so it is not the thing the solver certified). *)
+  mutable observer :
+    (round -> Flowgraph.Graph.t -> certified:Flowgraph.Graph.t option -> unit)
+    option;
 }
 
 let create ?(config = default_config) cluster ~policy =
@@ -231,6 +239,7 @@ let create ?(config = default_config) cluster ~policy =
     assigned = Hashtbl.create 1024;
     last_changes = Flowgraph.Graph.peek_changes (FN.graph net);
     pending = None;
+    observer = None;
   }
 
 let network t = t.net
@@ -283,6 +292,17 @@ let fail_machine t m =
 let restore_machine t m =
   Cluster.State.restore_machine t.cluster m;
   t.policy.Policy.machine_restored m
+
+(* Kick a running task back to the wait queue (an operator or fuzz-harness
+   event, not a solver decision). The cluster stamps the task stale, so a
+   solve in flight cannot re-commit a placement for it; the task node
+   itself stays live, which is exactly what the snapshot reader expects. *)
+let preempt_task t tid =
+  Cluster.State.preempt t.cluster tid;
+  Hashtbl.remove t.assigned tid;
+  t.policy.Policy.task_preempted (Cluster.State.task t.cluster tid)
+
+let set_round_observer t obs = t.observer <- obs
 
 (* Extract best-effort placements from a deadline-stopped solver's
    pseudoflow when no events interleaved: the live network tables still
@@ -558,7 +578,7 @@ let commit_round t p ~now =
   (* Close the round: shared metric recording plus the contiguous phase
      list ([("refresh", …); ("solve", …); branch phases]) whose durations
      sum to the round's commit-side wall time by construction. *)
-  let close_round ~tail r =
+  let close_round ?certified ~tail r =
     let wall =
       (p.p_ck1 - p.p_ck0) + solve_ns
       + List.fold_left (fun acc (_, d) -> acc + d) 0 tail
@@ -568,7 +588,13 @@ let commit_round t p ~now =
     Telemetry.Metrics.add m m_migrated (List.length r.migrated);
     Telemetry.Metrics.add m m_preempted (List.length r.preempted);
     Telemetry.Metrics.set m m_unscheduled r.unscheduled;
-    { r with phase_ns = ("refresh", p.p_ck1 - p.p_ck0) :: ("solve", solve_ns) :: tail }
+    let r =
+      { r with phase_ns = ("refresh", p.p_ck1 - p.p_ck0) :: ("solve", solve_ns) :: tail }
+    in
+    (match t.observer with
+    | Some f -> f r (FN.graph t.net) ~certified
+    | None -> ());
+    r
   in
   let algorithm_runtime =
     result.Mcmf.Race.stats.Mcmf.Solver_intf.runtime
@@ -678,6 +704,14 @@ let commit_round t p ~now =
       (* The adopted graph carries its own cumulative summary; re-sync the
          delta baseline so the next round doesn't misattribute. *)
       t.last_changes <- Flowgraph.Graph.peek_changes (FN.graph t.net);
+      (* Snapshot the certified-optimal solution for the observer before
+         the placement diff reroutes started tasks' arcs. Copy only on
+         demand: the hook is a debug facility, off in production. *)
+      let certified =
+        match t.observer with
+        | Some _ -> Some (Flowgraph.Graph.copy (FN.graph t.net))
+        | None -> None
+      in
       let ck3 = Telemetry.Clock.now_ns () in
       Telemetry.Trace.span tr ~phase:t_adopt ~t0:ck2 ~t1:ck3;
       Telemetry.Metrics.observe m m_adopt_ns (ck3 - ck2);
@@ -705,7 +739,7 @@ let commit_round t p ~now =
       let ck6 = Telemetry.Clock.now_ns () in
       Telemetry.Trace.span tr ~phase:t_apply ~t0:ck5 ~t1:ck6;
       Telemetry.Metrics.observe m m_apply_ns (ck6 - ck5);
-      close_round
+      close_round ?certified
         ~tail:
           [
             ("adopt", ck3 - ck2);

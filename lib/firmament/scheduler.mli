@@ -142,6 +142,12 @@ val fail_machine : t -> Cluster.Types.machine_id -> unit
 
 val restore_machine : t -> Cluster.Types.machine_id -> unit
 
+(** [preempt_task t tid] kicks a running task back to the wait queue (an
+    operator/fuzz-harness event, not a solver decision). The cluster
+    stamps the task stale, so a solve in flight cannot re-commit a
+    placement for it. *)
+val preempt_task : t -> Cluster.Types.task_id -> unit
+
 (** {1 Scheduling} *)
 
 (** [schedule ?stop t ~now] runs one round. Never raises on an infeasible
@@ -181,3 +187,24 @@ val commit_round : t -> pending -> now:float -> round
 (** Current task → machine assignment (running tasks only). *)
 val assignments :
   t -> (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t
+
+(** {1 Debugging}
+
+    [set_round_observer t (Some f)] installs a debug hook called once per
+    committed round — synchronous or pipelined, on every rung of the
+    degradation ladder — with the finished {!round} record and the
+    {e canonical post-commit graph} (the next round's warm start, not the
+    solver's scratch copy). On rounds that adopted a certified-optimal
+    solve ([degraded] is [`None] or [`Infeasible_retry]), [~certified]
+    additionally carries a private copy of that solution taken {e before}
+    the placement diff rerouted started tasks' arcs — the snapshot on
+    which feasibility/optimality validation is meaningful; it is [None] on
+    reconciled, partial and failed rounds. The fuzz harness uses the hook
+    to validate every round and to dump the pre-failure graph into repro
+    artifacts. The observer must not mutate the canonical graph (the
+    certified copy is the observer's to keep). [None] uninstalls. *)
+val set_round_observer :
+  t ->
+  (round -> Flowgraph.Graph.t -> certified:Flowgraph.Graph.t option -> unit)
+  option ->
+  unit

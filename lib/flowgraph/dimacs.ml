@@ -84,6 +84,59 @@ let save path g =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc (emit g))
 
+(* State round-trip: the instance plus its current flow and potentials,
+   as comment-prefixed extension records ([c pi ...], [c fx ...]) that
+   external DIMACS tools skip but [parse_state] restores. Flows are keyed
+   by the arc's position in [a]-line order, not by endpoints, so parallel
+   arcs stay unambiguous. *)
+let emit_state g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (emit g);
+  let ids = dense_ids g in
+  Graph.iter_nodes g (fun n ->
+      let p = Graph.potential g n in
+      if p <> 0 then
+        Buffer.add_string buf (Printf.sprintf "c pi %d %d\n" (Hashtbl.find ids n) p));
+  let k = ref (-1) in
+  Graph.iter_arcs g (fun a ->
+      incr k;
+      let f = Graph.flow g a in
+      if f <> 0 then Buffer.add_string buf (Printf.sprintf "c fx %d %d\n" !k f));
+  Buffer.contents buf
+
+let parse_state lines =
+  let g, nodes = parse lines in
+  let arcs = ref [] in
+  Graph.iter_arcs g (fun a -> arcs := a :: !arcs);
+  let arcs = Array.of_list (List.rev !arcs) in
+  let expect_int s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail "Dimacs.parse_state: expected integer, got %S" s
+  in
+  List.iter
+    (fun line ->
+      match tokens line with
+      | [ "c"; "pi"; id; p ] ->
+          let id = expect_int id in
+          if id < 1 || id > Array.length nodes then
+            fail "Dimacs.parse_state: potential for unknown node %d" id;
+          Graph.set_potential g nodes.(id - 1) (expect_int p)
+      | [ "c"; "fx"; k; f ] ->
+          let k = expect_int k and f = expect_int f in
+          if k < 0 || k >= Array.length arcs then
+            fail "Dimacs.parse_state: flow for unknown arc %d" k;
+          let a = arcs.(k) in
+          if f < 0 || f > Graph.capacity g a then
+            fail "Dimacs.parse_state: flow %d outside [0, cap] on arc %d" f k;
+          Graph.push g a f
+      | _ -> ())
+    lines;
+  ignore (Graph.take_changes g);
+  (g, nodes)
+
+let parse_state_string s = parse_state (String.split_on_char '\n' s)
+
 let emit_solution g =
   let buf = Buffer.create 1024 in
   let ids = dense_ids g in

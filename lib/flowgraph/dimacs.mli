@@ -22,6 +22,22 @@ val emit : Graph.t -> string
 
 val save : string -> Graph.t -> unit
 
+(** [emit_state g] renders the instance {e plus} its current flow and node
+    potentials. The extra state rides in comment-prefixed extension
+    records ([c pi id p] per nonzero potential, [c fx k f] per
+    flow-carrying arc, keyed by position in [a]-line order so parallel
+    arcs stay unambiguous); external DIMACS tools skip them, while
+    {!parse_state} restores them. This is the repro-artifact dump format
+    of the fuzz harness. *)
+val emit_state : Graph.t -> string
+
+(** [parse_state lines] is {!parse} followed by restoring the flow and
+    potentials from {!emit_state}'s extension records.
+    @raise Failure on malformed records or flow outside [0, capacity]. *)
+val parse_state : string list -> Graph.t * Graph.node array
+
+val parse_state_string : string -> Graph.t * Graph.node array
+
 (** [emit_solution g] renders the current flow as DIMACS [s]/[f] lines
     (objective value plus one line per arc with positive flow). *)
 val emit_solution : Graph.t -> string

@@ -1,0 +1,347 @@
+module G = Flowgraph.Graph
+module FN = Firmament.Flow_network
+module S = Firmament.Scheduler
+module W = Cluster.Workload
+
+type config = {
+  machines : int;
+  slots : int;
+  inject_eps : int;
+  modes : Mcmf.Race.mode list;
+}
+
+let all_modes =
+  Mcmf.Race.
+    [
+      Race_parallel;
+      Fastest_sequential;
+      Relaxation_only;
+      Incremental_cost_scaling_only;
+      Cost_scaling_scratch_only;
+    ]
+
+let default_config = { machines = 6; slots = 2; inject_eps = 1; modes = all_modes }
+
+let mode_name = function
+  | Mcmf.Race.Race_parallel -> "race"
+  | Mcmf.Race.Fastest_sequential -> "fastest"
+  | Mcmf.Race.Relaxation_only -> "relaxation"
+  | Mcmf.Race.Incremental_cost_scaling_only -> "incremental-cs"
+  | Mcmf.Race.Cost_scaling_scratch_only -> "quincy-cs"
+
+let mode_of_name = function
+  | "race" -> Mcmf.Race.Race_parallel
+  | "fastest" -> Mcmf.Race.Fastest_sequential
+  | "relaxation" -> Mcmf.Race.Relaxation_only
+  | "incremental-cs" -> Mcmf.Race.Incremental_cost_scaling_only
+  | "quincy-cs" -> Mcmf.Race.Cost_scaling_scratch_only
+  | s -> Format.kasprintf failwith "Harness.mode_of_name: unknown mode %S" s
+
+type failure = {
+  f_mode : Mcmf.Race.mode;
+  f_round : int;
+  f_event : int;
+  f_check : string;
+  f_detail : string;
+  f_graph : string;
+}
+
+let pp_failure ppf f =
+  Format.fprintf ppf "[%s] %s at round %d (event %d): %s" (mode_name f.f_mode)
+    f.f_check f.f_round f.f_event f.f_detail
+
+(* Per-mode interpreter state. [finished] remembers every task the trace
+   finished, independently of the cluster's own bookkeeping — the point
+   of the stale-commit check is to distrust the scheduler. *)
+type st = {
+  sched : S.t;
+  cluster : Cluster.State.t;
+  cfg : config;
+  mode : Mcmf.Race.mode;
+  finished : (int, unit) Hashtbl.t;
+  mutable now : float;
+  mutable round_idx : int;
+  mutable event_idx : int;
+  mutable pending : S.pending option;
+  mutable pending_t0 : int;  (* Clock.now_ns at begin_round dispatch *)
+  mutable sync_round : bool;
+      (* the round being committed is synchronous ([S.schedule]): nothing
+         can have interleaved, so an adopted-optimal claim must come with
+         a certified snapshot. Pipelined commits may legitimately
+         reconcile instead (which also reports [`None], minus snapshot). *)
+  mutable fail : failure option;
+}
+
+let record st check detail =
+  if st.fail = None then
+    st.fail <-
+      Some
+        {
+          f_mode = st.mode;
+          f_round = st.round_idx;
+          f_event = st.event_idx;
+          f_check = check;
+          f_detail = detail;
+          f_graph = Flowgraph.Dimacs.emit_state (FN.graph (S.network st.sched));
+        }
+
+(* From-scratch SSP oracle: re-solve the committed instance with the
+   slowest, simplest optimality-maintaining algorithm and compare
+   objective costs. Runs on a copy; the canonical graph is never touched. *)
+let oracle_check st g =
+  let copy = G.copy g in
+  G.reset_flow copy;
+  let stats = Mcmf.Ssp.solve copy in
+  match stats.Mcmf.Solver_intf.outcome with
+  | Mcmf.Solver_intf.Optimal ->
+      let oracle = G.total_cost copy and committed = G.total_cost g in
+      if oracle <> committed then
+        record st "oracle-cost"
+          (Printf.sprintf
+             "committed graph claims objective %d but the from-scratch SSP oracle \
+              finds %d"
+             committed oracle)
+  | Mcmf.Solver_intf.Infeasible ->
+      record st "oracle-infeasible"
+        "oracle found the committed (supposedly optimal) instance infeasible"
+  | Mcmf.Solver_intf.Stopped -> ()
+
+let known_phases =
+  [ "refresh"; "solve"; "adopt"; "extract"; "prepare"; "apply" ]
+
+let check_phases st (r : S.round) =
+  (match r.S.phase_ns with
+  | ("refresh", _) :: ("solve", _) :: _ -> ()
+  | _ -> record st "phase-accounting" "phase_ns does not start [refresh; solve]");
+  List.iter
+    (fun (name, ns) ->
+      if not (List.mem name known_phases) then
+        record st "phase-accounting" (Printf.sprintf "unknown phase %S" name);
+      if ns < 0 then
+        record st "phase-accounting"
+          (Printf.sprintf "phase %s has negative duration %d ns" name ns))
+    r.S.phase_ns
+
+(* The observer check battery, run on every committed round. [g] is the
+   canonical post-commit graph (already carrying the placement diff's
+   policy mutations); [certified] is the scheduler's pre-commit snapshot
+   of the adopted optimal solution, present exactly when the round claims
+   one — the graph on which feasibility/optimality/oracle checks are
+   meaningful. *)
+let check_round st (r : S.round) _post ~certified =
+  if FN.validate_structure (S.network st.sched) <> [] then
+    record st "structure"
+      (String.concat "; " (FN.validate_structure (S.network st.sched)));
+  check_phases st r;
+  (* Commit sanity: capacity, liveness, staleness — on every rung of the
+     degradation ladder. *)
+  for m = 0 to st.cfg.machines - 1 do
+    let running = Cluster.State.running_count st.cluster m in
+    if running > st.cfg.slots then
+      record st "capacity"
+        (Printf.sprintf "machine %d runs %d tasks but has %d slots" m running
+           st.cfg.slots)
+  done;
+  let check_placement tid mm =
+    if Hashtbl.mem st.finished tid then
+      record st "stale-commit"
+        (Printf.sprintf "round committed finished task %d" tid);
+    if not (Cluster.State.machine_is_live st.cluster mm) then
+      record st "dead-machine"
+        (Printf.sprintf "round placed task %d on dead machine %d" tid mm)
+  in
+  List.iter (fun (tid, mm) -> check_placement tid mm) r.S.started;
+  List.iter (fun (tid, _, mm) -> check_placement tid mm) r.S.migrated;
+  (* Optimality-side checks run on the certified snapshot, present exactly
+     when the round adopted an optimal solve ([`None]/[`Infeasible_retry]);
+     reconciled, partial and failed rounds have no certified solution to
+     validate. *)
+  (match (r.S.degraded, certified) with
+  | (`None | `Infeasible_retry), None ->
+      if st.sync_round then
+        record st "structure"
+          "synchronous round claims an adopted optimal solve but carries no \
+           certified snapshot"
+  | _, Some cg ->
+      if not (Flowgraph.Validate.is_feasible cg) then
+        record st "feasibility" "certified graph does not route all supply"
+      else if not (Flowgraph.Validate.is_optimal cg) then
+        record st "optimality"
+          "certified graph has a negative-cost residual cycle (not optimal)"
+      else oracle_check st cg
+  | (`Partial | `Failed), None -> ())
+
+(* {1 Event application} *)
+
+let running_tasks st =
+  let acc = ref [] in
+  Cluster.State.iter_tasks st.cluster (fun t ->
+      if W.is_running t then acc := t.W.tid :: !acc);
+  List.sort compare !acc
+
+let pick lst k =
+  match lst with [] -> None | _ -> Some (List.nth lst (k mod List.length lst))
+
+let apply_submit st ~jid ~tasks ~duration ~locality =
+  let tasks =
+    Array.init (max 1 tasks) (fun i ->
+        let block b = (locality + (i * 7) + (b * 13)) mod st.cfg.machines in
+        W.make_task ~tid:((jid * 1000) + i) ~job:jid ~submit_time:st.now ~duration
+          ~input_mb:(float_of_int (100 + (100 * (locality mod 8))))
+          ~input_machines:[ block 0; block 1; block 2 ]
+          ())
+  in
+  let klass =
+    if locality mod 5 = 0 then Cluster.Types.Service else Cluster.Types.Batch
+  in
+  S.submit_job st.sched (W.make_job ~jid ~klass ~submit_time:st.now ~tasks)
+
+let apply_perturb st ~seed ~arcs =
+  let g = FN.graph (S.network st.sched) in
+  let live = ref [] in
+  G.iter_arcs g (fun a -> live := a :: !live);
+  match !live with
+  | [] -> ()
+  | _ ->
+      let pool = Array.of_list !live in
+      let rng = Random.State.make [| 0x70657274; seed |] in
+      for _ = 1 to max 1 arcs do
+        let a = pool.(Random.State.int rng (Array.length pool)) in
+        if G.arc_is_live g a then begin
+          let delta = Random.State.int rng 11 - 3 in
+          G.set_cost g a (max 0 (G.cost g a + delta))
+        end
+      done
+
+(* Commit the in-flight round, if any, measuring total elapsed begin→commit
+   wall time as the (loose but sound) bound for the phase sum: a pipelined
+   round's phases exclude the overlap window, which is non-negative. *)
+let commit_pending st =
+  match st.pending with
+  | None -> ()
+  | Some p ->
+      st.pending <- None;
+      st.sync_round <- false;
+      let r = S.commit_round st.sched p ~now:st.now in
+      let w1 = Telemetry.Clock.now_ns () in
+      let sum = List.fold_left (fun acc (_, d) -> acc + d) 0 r.S.phase_ns in
+      if sum > w1 - st.pending_t0 then
+        record st "phase-accounting"
+          (Printf.sprintf
+             "pipelined round phases sum to %d ns, more than the %d ns between \
+              begin and commit"
+             sum (w1 - st.pending_t0));
+      st.round_idx <- st.round_idx + 1
+
+let run_round st ~polls =
+  commit_pending st;
+  let stop =
+    if polls <= 0 then None
+    else begin
+      let n = ref 0 in
+      Some
+        (fun () ->
+          incr n;
+          !n > polls)
+    end
+  in
+  st.sync_round <- true;
+  let w0 = Telemetry.Clock.now_ns () in
+  let r = S.schedule ?stop st.sched ~now:st.now in
+  let w1 = Telemetry.Clock.now_ns () in
+  let sum = List.fold_left (fun acc (_, d) -> acc + d) 0 r.S.phase_ns in
+  if sum > w1 - w0 then
+    record st "phase-accounting"
+      (Printf.sprintf "round phases sum to %d ns, more than the measured %d ns wall"
+         sum (w1 - w0));
+  st.round_idx <- st.round_idx + 1
+
+let apply_event st (ev : Dcsim.Churn.event) =
+  match ev with
+  | Dcsim.Churn.Submit { jid; tasks; duration; locality } ->
+      apply_submit st ~jid ~tasks ~duration ~locality
+  | Finish k -> (
+      match pick (running_tasks st) k with
+      | Some tid ->
+          S.finish_task st.sched tid ~now:st.now;
+          Hashtbl.replace st.finished tid ()
+      | None -> ())
+  | Preempt k -> (
+      match pick (running_tasks st) k with
+      | Some tid -> S.preempt_task st.sched tid
+      | None -> ())
+  | Fail_machine m ->
+      let m = m mod st.cfg.machines in
+      if Cluster.State.machine_is_live st.cluster m then S.fail_machine st.sched m
+  | Restore_machine m ->
+      let m = m mod st.cfg.machines in
+      if not (Cluster.State.machine_is_live st.cluster m) then
+        S.restore_machine st.sched m
+  | Perturb_costs { seed; arcs } -> apply_perturb st ~seed ~arcs
+  | Round { polls } -> run_round st ~polls
+  | Begin_round ->
+      commit_pending st;
+      st.pending_t0 <- Telemetry.Clock.now_ns ();
+      st.pending <- Some (S.begin_round st.sched ~now:st.now)
+  | Commit_round -> commit_pending st
+
+let run_mode config mode events =
+  let topo =
+    Cluster.Topology.make ~machines:config.machines ~machines_per_rack:2
+      ~slots_per_machine:config.slots ()
+  in
+  let cluster = Cluster.State.create topo in
+  let sched =
+    S.create
+      ~config:{ S.default_config with mode }
+      cluster
+      ~policy:(fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st)
+  in
+  let st =
+    {
+      sched;
+      cluster;
+      cfg = config;
+      mode;
+      finished = Hashtbl.create 64;
+      now = 0.;
+      round_idx = 0;
+      event_idx = 0;
+      pending = None;
+      pending_t0 = 0;
+      sync_round = false;
+      fail = None;
+    }
+  in
+  S.set_round_observer sched
+    (Some (fun r g ~certified -> check_round st r g ~certified));
+  let saved_floor = !Mcmf.Cost_scaling.debug_eps_floor in
+  Mcmf.Cost_scaling.debug_eps_floor := max 1 config.inject_eps;
+  Fun.protect
+    ~finally:(fun () -> Mcmf.Cost_scaling.debug_eps_floor := saved_floor)
+    (fun () ->
+      (try
+         List.iteri
+           (fun i ev ->
+             if st.fail = None then begin
+               st.event_idx <- i;
+               apply_event st ev;
+               st.now <- st.now +. 0.5
+             end)
+           events;
+         if st.fail = None then commit_pending st
+       with exn ->
+         record st "exception"
+           (Printf.sprintf "event %d raised %s" st.event_idx
+              (Printexc.to_string exn)));
+      match st.fail with Some f -> Error f | None -> Ok ())
+
+let run config events =
+  let rec go = function
+    | [] -> Ok ()
+    | mode :: rest -> (
+        match run_mode config mode events with
+        | Ok () -> go rest
+        | Error f -> Error f)
+  in
+  go config.modes

@@ -1,0 +1,79 @@
+(** Differential churn fuzzing of the scheduler (the standing gate every
+    perf PR must pass; see DESIGN.md "Testing & fuzzing").
+
+    [run] interprets a {!Dcsim.Churn} trace against the {e real}
+    {!Firmament.Scheduler} — Quincy policy, real solvers — once per
+    requested race mode, and after {e every} committed round checks, via
+    the scheduler's round observer hook:
+
+    {ul
+    {- {b oracle} — on adopted-optimal rounds, the certified snapshot's
+       objective cost (the solved graph, captured before post-commit
+       policy mutations reroute started tasks) equals a from-scratch
+       {!Mcmf.Ssp} solve of the same instance (the differential check:
+       every mode, warm start and heuristic must agree with the slow
+       oracle);}
+    {- {b validators} — {!Flowgraph.Validate.is_feasible} and
+       {!Flowgraph.Validate.is_optimal} hold on the certified snapshot,
+       and {!Firmament.Flow_network.validate_structure} reports no drift
+       on the canonical graph;}
+    {- {b commit sanity} — placements never oversubscribe machine slots,
+       never name a finished task or a dead machine;}
+    {- {b phase accounting} — each round's [phase_ns] is well-formed and
+       sums to at most the measured wall time of the scheduling call.}}
+
+    The first violated check aborts the run with a {!failure} carrying
+    the failing mode, round/event indices and a DIMACS state dump
+    ({!Flowgraph.Dimacs.emit_state}) of the post-commit graph. *)
+
+type config = {
+  machines : int;  (** cluster size (2 machines per rack) *)
+  slots : int;  (** slots per machine *)
+  inject_eps : int;
+      (** fault injection: {!Mcmf.Cost_scaling.debug_eps_floor} for the
+          duration of the run (1 = off). Lets tests and
+          [firmament_fuzz --inject-eps] prove the harness catches a
+          solver that silently stops at an ε-optimal flow. *)
+  modes : Mcmf.Race.mode list;  (** race modes to run, in order *)
+}
+
+(** 6 machines × 2 slots, no injection, all five race modes. *)
+val default_config : config
+
+val all_modes : Mcmf.Race.mode list
+
+(** Mode names as used by artifacts and the [firmament_fuzz] CLI
+    ([race], [fastest], [relaxation], [incremental-cs], [quincy-cs]). *)
+val mode_name : Mcmf.Race.mode -> string
+
+(** @raise Failure on an unknown name. *)
+val mode_of_name : string -> Mcmf.Race.mode
+
+type failure = {
+  f_mode : Mcmf.Race.mode;  (** the race mode that failed *)
+  f_round : int;  (** 0-based index of the committed round that failed *)
+  f_event : int;  (** 0-based index of the trace event being applied *)
+  f_check : string;
+      (** which invariant broke: [oracle-cost], [oracle-infeasible],
+          [optimality], [feasibility], [structure], [capacity],
+          [stale-commit], [dead-machine], [phase-accounting] or
+          [exception] *)
+  f_detail : string;  (** one-line human explanation *)
+  f_graph : string;
+      (** {!Flowgraph.Dimacs.emit_state} dump of the canonical graph when
+          the check fired (post-commit, or at the exception point) *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+
+(** [run config events] interprets the trace under each configured mode
+    in turn; the first failing check wins. Deterministic for the
+    single-solver modes ([relaxation], [incremental-cs], [quincy-cs]);
+    the racing modes pick winners by wall clock, so distinct optima may
+    steer later rounds differently between runs (the checks themselves
+    are winner-independent). *)
+val run : config -> Dcsim.Churn.event list -> (unit, failure) result
+
+(** [run_mode config mode events] is {!run} restricted to one mode. *)
+val run_mode :
+  config -> Mcmf.Race.mode -> Dcsim.Churn.event list -> (unit, failure) result

@@ -1,0 +1,26 @@
+(** Trace minimization: delta debugging (ddmin-style chunk bisection)
+    followed by per-event simplification, against an arbitrary failure
+    predicate. Used by [firmament_fuzz] to turn a failing churn trace
+    into a minimal repro before writing the artifact. *)
+
+(** [minimize ~fails ?simplify events] returns a sublist of [events]
+    (with individual events possibly replaced by [simplify] candidates)
+    on which [fails] still returns [true]. [fails events] itself must be
+    [true] on entry — the result is then {e 1-minimal} with respect to
+    single-event removal: deleting any one remaining event makes the
+    failure disappear (assuming a deterministic predicate; a flaky one
+    only costs minimality, never validity).
+
+    [simplify ev] proposes cheaper stand-ins tried in order after the
+    length is minimal (e.g. a one-task job for a five-task job); the
+    first candidate that keeps the trace failing is kept.
+
+    The predicate is invoked O(n log n + n·k) times for n events and k
+    simplification candidates each. *)
+val minimize :
+  fails:('a list -> bool) -> ?simplify:('a -> 'a list) -> 'a list -> 'a list
+
+(** [simplify_event ev] — the standard candidate list for churn events:
+    drop a deadline poll budget, shrink a job to one task, a perturbation
+    to one arc. *)
+val simplify_event : Dcsim.Churn.event -> Dcsim.Churn.event list

@@ -80,6 +80,12 @@ let ws_ensure st bound =
 
 let alpha st = st.alpha
 
+(* Fault injection for the differential fuzz harness: a floor > 1 truncates
+   the ε ladder below, so the solver stops at an ε-optimal (not optimal)
+   flow while still reporting [Optimal]. Off (= 1) unless a test or
+   [firmament_fuzz --inject-eps] flips it. *)
+let debug_eps_floor = ref 1
+
 let ensure_scale st g =
   let needed = G.node_count g + 2 in
   if st.scale < needed then st.scale <- needed
@@ -265,9 +271,10 @@ let solve ?(stop = Solver_intf.never_stop) ?(incremental = false) st g =
     done
   in
   try
+    let eps_floor = max 1 !debug_eps_floor in
     let eps = ref eps0 in
     refine !eps;
-    while !eps > 1 do
+    while !eps > eps_floor do
       eps := max 1 (!eps / st.alpha);
       refine !eps
     done;

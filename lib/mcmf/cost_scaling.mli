@@ -41,3 +41,11 @@ val solve :
   state ->
   Flowgraph.Graph.t ->
   Solver_intf.stats
+
+(** Fault injection for the differential fuzz harness: when set above 1,
+    every solve truncates its ε ladder at this floor and stops at a merely
+    ε-optimal flow {e while still reporting [Optimal]} — exactly the class
+    of silent-wrong-answer bug the from-scratch oracle and
+    {!Flowgraph.Validate.is_optimal} exist to catch. Default [1] (off).
+    Never set this outside tests or [firmament_fuzz --inject-eps]. *)
+val debug_eps_floor : int ref

@@ -442,10 +442,52 @@ let test_testbed_firmament_beats_random_under_background () =
   let rand = p99 (Dcsim.Testbed.Baseline (Baselines.random ~seed:9 ())) in
   checkb "network-aware tail better than random" true (firmament <= rand)
 
+(* {1 Property tests} *)
+
+let prop_percentile_bounded_and_monotone =
+  QCheck.Test.make ~name:"percentile stays within sample bounds, monotone in p"
+    ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 50) (float_range 0. 1e6))
+        (pair (float_range 0. 100.) (float_range 0. 100.)))
+    (fun (xs, (p1, p2)) ->
+      let lo = List.fold_left min infinity xs in
+      let hi = List.fold_left max neg_infinity xs in
+      let p_lo = min p1 p2 and p_hi = max p1 p2 in
+      let v_lo = Dcsim.Stats.percentile xs p_lo in
+      let v_hi = Dcsim.Stats.percentile xs p_hi in
+      lo <= v_lo && v_lo <= v_hi && v_hi <= hi)
+
+let prop_churn_trace_roundtrip =
+  QCheck.Test.make ~name:"churn traces serialize losslessly" ~count:100
+    QCheck.(pair (int_bound 10_000) (int_range 1 120))
+    (fun (seed, length) ->
+      let t = Dcsim.Churn.generate ~seed ~machines:6 ~length in
+      List.length t = length
+      && Dcsim.Churn.of_lines (Dcsim.Churn.to_lines t) = t
+      (* Same seed must regenerate the same trace: replayability of the
+         fuzz driver's seed lists depends on it. *)
+      && Dcsim.Churn.generate ~seed ~machines:6 ~length = t)
+
+let prop_netsim_transfer_completes =
+  QCheck.Test.make ~name:"a lone transfer finishes at exactly link rate"
+    ~count:50
+    QCheck.(pair (int_range 1 1000) (int_range 1 8))
+    (fun (mb, dst) ->
+      let net = Dcsim.Netsim.create (topo40 ()) in
+      let mb = float_of_int mb in
+      ignore (Dcsim.Netsim.start_transfer net ~src:0 ~dst ~mb ~task:1 ());
+      (* 10 Gb/s = 1250 MB/s; after the exact transfer time (plus float
+         slack) the flow must be gone and the completion reported. *)
+      let horizon = (mb /. 1250.) +. 1e-9 in
+      match Dcsim.Netsim.advance net horizon with
+      | [ (_, 1) ] -> Dcsim.Netsim.active_flows net = 0
+      | _ -> false)
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
-  ignore qcheck;
   Alcotest.run "dcsim"
     [
       ( "stats",
@@ -453,6 +495,13 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_percentiles;
           Alcotest.test_case "cdf monotone" `Quick test_cdf_monotone;
         ] );
+      ( "properties",
+        qcheck
+          [
+            prop_percentile_bounded_and_monotone;
+            prop_churn_trace_roundtrip;
+            prop_netsim_transfer_completes;
+          ] );
       ( "netsim",
         [
           Alcotest.test_case "single flow full rate" `Quick test_netsim_single_flow_full_rate;

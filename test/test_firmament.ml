@@ -931,6 +931,142 @@ let test_quincy_refresh_wait_cost_bucketing () =
   let _ = solve_sched sched ~now:2.5 in
   checkb "bucket crossing reprices the unscheduled arc" true (cost_changes () > c1)
 
+(* {1 Placement flow audit}
+
+   Brute-force audit of the extraction pass: however the single-pass
+   tracing attributes tasks, the number of tasks it assigns to a machine
+   must equal (strict [extract] and [extract_snapshot] on an optimal flow)
+   or never exceed ([extract_partial] on a stopped solver's pseudoflow)
+   the flow that machine actually forwards to the sink. *)
+
+(* A random Firmament-shaped network: tasks with direct preference arcs,
+   a cluster-aggregator fallback and a per-job unscheduled path (so every
+   instance is feasible). Returns the net plus (id, node) lists for the
+   audit. *)
+let random_audit_net seed =
+  let rng = Random.State.make [| 0x706c61; seed |] in
+  let net = FN.create () in
+  let g = FN.graph net in
+  let machines = 2 + Random.State.int rng 5 in
+  let slots = 1 + Random.State.int rng 3 in
+  let agg = FN.ensure_cluster_agg net in
+  let mnodes =
+    List.init machines (fun mid ->
+        let mn = FN.ensure_machine net mid ~slots in
+        ignore
+          (G.add_arc g ~src:agg ~dst:mn ~cost:(1 + Random.State.int rng 6) ~cap:slots);
+        (mid, mn))
+  in
+  let u = FN.ensure_unscheduled net 0 in
+  let tasks = 1 + Random.State.int rng ((machines * slots) + 3) in
+  let tnodes =
+    List.init tasks (fun tid ->
+        let t = FN.add_task net tid in
+        Firmament.Policy.adjust_unscheduled_capacity net 0 ~delta:1;
+        ignore (G.add_arc g ~src:t ~dst:u ~cost:(30 + Random.State.int rng 10) ~cap:1);
+        ignore (G.add_arc g ~src:t ~dst:agg ~cost:(5 + Random.State.int rng 10) ~cap:1);
+        for _ = 1 to 1 + Random.State.int rng 2 do
+          let _, mn = List.nth mnodes (Random.State.int rng machines) in
+          ignore (G.add_arc g ~src:t ~dst:mn ~cost:(Random.State.int rng 8) ~cap:1)
+        done;
+        (tid, t))
+  in
+  (net, tnodes, mnodes, agg, u)
+
+let flow_audit ~exact net assignments mnodes =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      match a.Firmament.Placement.machine with
+      | Some mid ->
+          Hashtbl.replace counts mid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts mid))
+      | None -> ())
+    assignments;
+  List.for_all
+    (fun a ->
+      match a.Firmament.Placement.machine with
+      | Some mid -> List.mem_assoc mid mnodes
+      | None -> true)
+    assignments
+  && List.for_all
+       (fun (mid, mn) ->
+         let f =
+           G.flow (FN.graph net) (Option.get (FN.find_arc net mn (FN.sink net)))
+         in
+         let c = Option.value ~default:0 (Hashtbl.find_opt counts mid) in
+         if exact then c = f else c <= f)
+       mnodes
+
+let prop_extract_matches_flow_audit =
+  QCheck.Test.make
+    ~name:"extract / extract_partial placements = machine sink flow" ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let net, tnodes, mnodes, _, _ = random_audit_net seed in
+      let st = Mcmf.Ssp.solve (FN.graph net) in
+      st.Mcmf.Solver_intf.outcome = Mcmf.Solver_intf.Optimal
+      && begin
+           let a = Firmament.Placement.extract net in
+           List.length a = List.length tnodes
+           && flow_audit ~exact:true net a mnodes
+           (* On an optimal flow the lenient walk is an exact flow
+              decomposition too. *)
+           && flow_audit ~exact:true net (Firmament.Placement.extract_partial net) mnodes
+         end)
+
+let prop_extract_partial_capacity_valid_on_pseudoflow =
+  QCheck.Test.make
+    ~name:"extract_partial never exceeds sink flow on a stopped solve" ~count:80
+    QCheck.(pair (int_bound 1_000_000) (int_bound 20))
+    (fun (seed, polls) ->
+      let net, _, mnodes, _, _ = random_audit_net seed in
+      let n = ref 0 in
+      let stop () =
+        incr n;
+        !n > polls
+      in
+      (* Whatever state the early-terminated solver leaves behind,
+         placements must stay capacity-valid against the actual flow. *)
+      ignore (Mcmf.Ssp.solve ~stop (FN.graph net));
+      flow_audit ~exact:false net (Firmament.Placement.extract_partial net) mnodes)
+
+let prop_extract_snapshot_matches_flow_audit =
+  QCheck.Test.make ~name:"extract_snapshot = machine sink flow on a snapshot"
+    ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let net, tnodes, mnodes, agg, _ = random_audit_net seed in
+      let g = FN.graph net in
+      let st = Mcmf.Ssp.solve g in
+      st.Mcmf.Solver_intf.outcome = Mcmf.Solver_intf.Optimal
+      && begin
+           let snap = G.copy g in
+           let classify n =
+             match List.find_opt (fun (_, mn) -> mn = n) mnodes with
+             | Some (mid, _) -> `Machine mid
+             | None -> if n = agg then `Through else `Blocked
+           in
+           let a =
+             Firmament.Placement.extract_snapshot snap ~sink:(FN.sink net)
+               ~classify ~tasks:tnodes
+           in
+           let placed l =
+             List.sort compare
+               (List.map
+                  (fun p ->
+                    ( p.Firmament.Placement.task,
+                      p.Firmament.Placement.machine <> None ))
+                  l)
+           in
+           flow_audit ~exact:true net a mnodes
+           (* Attribution through an aggregator may permute, but which
+              tasks are placed at all is flow-determined. *)
+           && placed a = placed (Firmament.Placement.extract net)
+         end)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
 let () =
   Alcotest.run "firmament"
     [
@@ -962,6 +1098,13 @@ let () =
           Alcotest.test_case "partial walk never oversubscribes" `Quick
             test_extract_partial_never_oversubscribes;
         ] );
+      ( "placement-audit",
+        qcheck
+          [
+            prop_extract_matches_flow_audit;
+            prop_extract_partial_capacity_valid_on_pseudoflow;
+            prop_extract_snapshot_matches_flow_audit;
+          ] );
       ( "scheduler",
         [
           Alcotest.test_case "load spreading end to end" `Quick test_load_spread_end_to_end;

@@ -278,6 +278,35 @@ let test_dimacs_rejects_garbage () =
   Alcotest.check_raises "lower bound" (Failure "Dimacs.parse: non-zero lower bounds unsupported")
     (fun () -> ignore (Dimacs.parse_string bad))
 
+let test_dimacs_state_roundtrip () =
+  (* [emit_state]/[parse_state] must round-trip flows, potentials and the
+     resulting excesses — it is the repro-artifact dump format. *)
+  let g, na, nb, _, ab, bc, _ = triangle () in
+  G.push g ab 2;
+  G.push g bc 2;
+  G.set_potential g na 7;
+  G.set_potential g nb (-3);
+  let g', _ = Dimacs.parse_state_string (Dimacs.emit_state g) in
+  let flows gr =
+    let acc = ref [] in
+    G.iter_arcs gr (fun a -> acc := G.flow gr a :: !acc);
+    List.rev !acc
+  in
+  let per_node f gr =
+    let acc = ref [] in
+    G.iter_nodes gr (fun n -> acc := f gr n :: !acc);
+    List.sort compare !acc
+  in
+  check Alcotest.(list int) "flows survive (arc order)" (flows g) (flows g');
+  check Alcotest.(list int) "potentials survive" (per_node G.potential g)
+    (per_node G.potential g');
+  check Alcotest.(list int) "excesses survive" (per_node G.excess g)
+    (per_node G.excess g');
+  (* Plain emit output is also valid state input (no state records). *)
+  let g'', _ = Dimacs.parse_state_string (Dimacs.emit g) in
+  checkb "plain emit parses as state" true
+    (List.for_all (fun f -> f = 0) (flows g''))
+
 let test_dimacs_solution_lines () =
   let g, _, _, _, ab, bc, _ = triangle () in
   G.push g ab 2;
@@ -653,6 +682,7 @@ let () =
       ( "dimacs",
         [
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "state roundtrip" `Quick test_dimacs_state_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_dimacs_rejects_garbage;
           Alcotest.test_case "solution lines" `Quick test_dimacs_solution_lines;
         ] );

@@ -240,26 +240,90 @@ let random_instance (seed : int) =
   done;
   g
 
+(* One instance per seed, cycling through all three NETGEN families so the
+   agreement property exercises transportation, grid and scheduling shapes
+   rather than a single ad-hoc topology. *)
+let netgen_instance (seed : int) =
+  let s = seed / 3 in
+  let inst =
+    match seed mod 3 with
+    | 0 ->
+        Flowgraph.Netgen.transportation
+          ~sources:(3 + (s mod 8))
+          ~sinks:(2 + (s mod 4))
+          ~seed ()
+    | 1 -> Flowgraph.Netgen.grid ~width:(3 + (s mod 5)) ~height:(2 + (s mod 4)) ~seed ()
+    | _ ->
+        Flowgraph.Netgen.scheduling
+          ~tasks:(5 + (s mod 25))
+          ~machines:(3 + (s mod 6))
+          ~seed ()
+  in
+  inst.Flowgraph.Netgen.graph
+
+(* Cost perturbations and capacity increases: arbitrary on any feasible
+   instance (costs stay non-negative, capacity never shrinks, so the
+   feasibility backbone survives). *)
+let mutation_burst ~mseed g =
+  let rng = Random.State.make [| 0x6d7574; mseed |] in
+  let arcs = ref [] in
+  G.iter_arcs g (fun a -> arcs := a :: !arcs);
+  List.iter
+    (fun a ->
+      match Random.State.int rng 3 with
+      | 0 -> G.set_cost g a (max 0 (G.cost g a + Random.State.int rng 21 - 5))
+      | 1 -> G.set_capacity g a (G.capacity g a + Random.State.int rng 4)
+      | _ -> ())
+    !arcs
+
 let prop_all_algorithms_agree =
-  QCheck.Test.make ~name:"all algorithms find the same optimal cost" ~count:120
+  QCheck.Test.make
+    ~name:"all algorithms agree on NETGEN families; incremental matches after burst"
+    ~count:90
     QCheck.(int_bound 1_000_000)
     (fun seed ->
+      (* Phase 1: every algorithm, from scratch, on the same instance. *)
       let reference = ref None in
-      List.for_all
-        (fun alg ->
-          let g = random_instance seed in
-          let st = alg.run g in
-          if st.S.outcome <> S.Optimal then false
-          else if not (Validate.is_optimal g) then false
-          else begin
-            let c = G.total_cost g in
-            match !reference with
-            | None ->
-                reference := Some c;
-                true
-            | Some c' -> c = c'
-          end)
-        algorithms)
+      let scratch_ok =
+        List.for_all
+          (fun alg ->
+            let g = netgen_instance seed in
+            let st = alg.run g in
+            if st.S.outcome <> S.Optimal then false
+            else if not (Validate.is_optimal g) then false
+            else begin
+              let c = G.total_cost g in
+              match !reference with
+              | None ->
+                  reference := Some c;
+                  true
+              | Some c' -> c = c'
+            end)
+          algorithms
+      in
+      scratch_ok
+      && begin
+           (* Phase 2: warm incremental re-solves after a mutation burst
+              must match a from-scratch solve of the mutated instance. *)
+           let g_ref = netgen_instance seed in
+           mutation_burst ~mseed:seed g_ref;
+           let s_ref = Mcmf.Ssp.solve g_ref in
+           let cs = Mcmf.Cost_scaling.create ~alpha:4 () in
+           let g_cs = netgen_instance seed in
+           ignore (Mcmf.Cost_scaling.solve cs g_cs);
+           mutation_burst ~mseed:seed g_cs;
+           let s_cs = Mcmf.Cost_scaling.solve ~incremental:true cs g_cs in
+           let g_rx = netgen_instance seed in
+           ignore (Mcmf.Relaxation.solve g_rx);
+           mutation_burst ~mseed:seed g_rx;
+           let s_rx = Mcmf.Relaxation.solve ~incremental:true g_rx in
+           s_ref.S.outcome = S.Optimal
+           && s_cs.S.outcome = S.Optimal
+           && s_rx.S.outcome = S.Optimal
+           && Validate.is_optimal g_cs && Validate.is_optimal g_rx
+           && G.total_cost g_cs = G.total_cost g_ref
+           && G.total_cost g_rx = G.total_cost g_ref
+         end)
 
 let prop_incremental_cost_scaling_matches =
   (* Solve, mutate randomly, re-solve incrementally; the incremental result
