@@ -706,6 +706,50 @@ let fig19b ~scale () =
 
 (* {1 Steady-state allocation / round latency (tentpole perf metric)} *)
 
+(* Drive [rounds] full scheduler rounds under [frac] churn on a settled
+   cluster, sampling the telemetry phase histograms around the loop:
+   returns per-round wall times, per-round allocated bytes, and per-phase
+   means — including the solve_win/solve_wait sub-phase split (winner
+   runtime vs orchestration wait). *)
+let sched_phases =
+  [
+    "refresh"; "solve"; "solve_win"; "solve_wait"; "adopt"; "extract"; "prepare";
+    "apply";
+  ]
+
+let measure_sched_rounds s ~rounds ~frac =
+  let reg = Telemetry.Metrics.global () in
+  let phase_metrics =
+    List.filter_map
+      (fun phase ->
+        Option.map
+          (fun id -> (phase, id))
+          (Telemetry.Metrics.find reg ("sched_phase_" ^ phase ^ "_ns")))
+      sched_phases
+  in
+  let phase_sum0 =
+    List.map (fun (p, id) -> (p, Telemetry.Metrics.hist_sum reg id)) phase_metrics
+  in
+  let times = ref [] and bytes = ref [] in
+  for i = 1 to rounds do
+    let now = float_of_int i in
+    Setup.churn s ~frac ~now;
+    let b0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    ignore (Setup.schedule s ~now);
+    times := (Unix.gettimeofday () -. t0) :: !times;
+    bytes := (Gc.allocated_bytes () -. b0) :: !bytes
+  done;
+  let phase_means =
+    List.map
+      (fun (p, id) ->
+        let s0 = List.assoc p phase_sum0 in
+        let d = Telemetry.Metrics.hist_sum reg id - s0 in
+        (p, float_of_int d *. 1e-9 /. float_of_int rounds))
+      phase_metrics
+  in
+  (!times, !bytes, phase_means)
+
 (* Two measurements on a settled ~1k-machine cluster (at the default
    --scale 0.2):
    - solver-only warm rounds: prepare + Race.solve on the already-optimal
@@ -762,39 +806,9 @@ let alloc ~scale () =
   (* Full scheduler rounds with light churn. Telemetry phase histograms
      are sampled before/after the loop; the delta of each phase's sum
      divided by the round count gives phase-level means for the JSON. *)
-  let reg = Telemetry.Metrics.global () in
-  let phase_metrics =
-    List.filter_map
-      (fun phase ->
-        Option.map
-          (fun id -> (phase, id))
-          (Telemetry.Metrics.find reg ("sched_phase_" ^ phase ^ "_ns")))
-      [ "refresh"; "solve"; "adopt"; "extract"; "prepare"; "apply" ]
-  in
-  let phase_sum0 =
-    List.map (fun (p, id) -> (p, Telemetry.Metrics.hist_sum reg id)) phase_metrics
-  in
-  let rounds2 = 20 in
-  let times2 = ref [] and bytes2 = ref [] in
-  for i = 1 to rounds2 do
-    let now = float_of_int i in
-    Setup.churn s ~frac:0.01 ~now;
-    let b0 = Gc.allocated_bytes () in
-    let t0 = Unix.gettimeofday () in
-    ignore (Setup.schedule s ~now);
-    times2 := (Unix.gettimeofday () -. t0) :: !times2;
-    bytes2 := (Gc.allocated_bytes () -. b0) :: !bytes2
-  done;
-  let phase_means =
-    List.map
-      (fun (p, id) ->
-        let s0 = List.assoc p phase_sum0 in
-        let d = Telemetry.Metrics.hist_sum reg id - s0 in
-        (p, float_of_int d *. 1e-9 /. float_of_int rounds2))
-      phase_metrics
-  in
-  let t2_mean, t2_p50, t2_p99 = stats_of !times2 in
-  let b2_mean, _, _ = stats_of !bytes2 in
+  let times2, bytes2, phase_means = measure_sched_rounds s ~rounds:20 ~frac:0.01 in
+  let t2_mean, t2_p50, t2_p99 = stats_of times2 in
+  let b2_mean, _, _ = stats_of bytes2 in
   row
     [
       "full round (1% churn)"; pp t2_mean; pp t2_p50; pp t2_p99;
@@ -848,7 +862,10 @@ let pipeline ~scale () =
   let sync = run false in
   let pipe = run true in
   row
-    [ "mode"; "rounds"; "latency mean"; "p50"; "p99"; "makespan"; "mid-solve"; "discards" ];
+    [
+      "mode"; "rounds"; "latency mean"; "p50"; "p99"; "makespan"; "mid-solve";
+      "discards"; "replays";
+    ];
   let line name (m : Dcsim.Replay.metrics) =
     let ls = m.Dcsim.Replay.placement_latencies in
     row
@@ -861,10 +878,16 @@ let pipeline ~scale () =
         Printf.sprintf "%.1fs" m.Dcsim.Replay.sim_end;
         string_of_int m.Dcsim.Replay.events_absorbed_mid_solve;
         string_of_int m.Dcsim.Replay.stale_placements;
+        string_of_int m.Dcsim.Replay.replayed_placements;
       ]
   in
   line "synchronous" sync;
   line "pipelined" pipe;
+  Printf.printf
+    "pipelined discards by reason: %d stale-task, %d stale-machine, %d capacity \
+     (+%d no-op replays of mid-solve-finished tasks, not counted as discards)\n"
+    pipe.Dcsim.Replay.stale_task_discards pipe.Dcsim.Replay.stale_machine_discards
+    pipe.Dcsim.Replay.capacity_discards pipe.Dcsim.Replay.replayed_placements;
   let mean_of m =
     match m.Dcsim.Replay.placement_latencies with
     | [] -> 0.
@@ -882,8 +905,71 @@ let pipeline ~scale () =
       ("pipelined_makespan_s", pipe.Dcsim.Replay.sim_end);
       ("events_mid_solve", float_of_int pipe.Dcsim.Replay.events_absorbed_mid_solve);
       ("stale_placements", float_of_int pipe.Dcsim.Replay.stale_placements);
+      ("stale_task_discards", float_of_int pipe.Dcsim.Replay.stale_task_discards);
+      ( "stale_machine_discards",
+        float_of_int pipe.Dcsim.Replay.stale_machine_discards );
+      ("capacity_discards", float_of_int pipe.Dcsim.Replay.capacity_discards);
+      ("replayed_placements", float_of_int pipe.Dcsim.Replay.replayed_placements);
       ("structure_violations", float_of_int pipe.Dcsim.Replay.structure_violations);
     ]
+
+(* {1 Scale sweep (paper Fig. 8's machine ladder, full rounds)} *)
+
+(* One bench series per cluster size on the paper's evaluation ladder
+   (Fig. 8 spans 1.2k–12.5k machines; 50k probes past it, the paper's
+   headline "at scale" claim). Each point settles a cluster at 50%
+   utilization and drives full scheduler rounds under 1% churn: round
+   latency percentiles, per-phase means (including the delta-extraction
+   phase and the solve win/wait split) and allocation per round. Points
+   beyond the --scale budget are skipped so the default run stays small;
+   --scale 1.0 reaches the full ladder. *)
+let sweep ~scale () =
+  header "Scale sweep: full scheduler rounds across the machine ladder";
+  let ladder = [ 1_000; 5_000; 12_500; 50_000 ] in
+  let budget = max 1_000 (int_of_float (50_000. *. scale)) in
+  let points = List.filter (fun mch -> mch <= budget) ladder in
+  (match List.filter (fun mch -> mch > budget) ladder with
+  | [] -> ()
+  | skipped ->
+      Printf.printf "skipping %s machines (raise --scale to include)\n"
+        (String.concat ", " (List.map string_of_int skipped)));
+  row
+    [
+      "machines"; "round mean"; "p50"; "p99"; "solve"; "extract"; "alloc/round";
+      "rounds/s";
+    ];
+  List.iter
+    (fun machines ->
+      let s = Setup.settle ~machines ~util:0.5 ~policy:Setup.Quincy ~seed:42 () in
+      let rounds = if machines >= 12_500 then 10 else 20 in
+      let times, bytes, phase_means = measure_sched_rounds s ~rounds ~frac:0.01 in
+      let mean = Stats.mean times in
+      let p50 = Stats.percentile times 50. in
+      let p99 = Stats.percentile times 99. in
+      let b_mean = Stats.mean bytes in
+      let phase p = Option.value ~default:0. (List.assoc_opt p phase_means) in
+      row
+        [
+          string_of_int machines;
+          pp mean;
+          pp p50;
+          pp p99;
+          pp (phase "solve");
+          pp (phase "extract");
+          Printf.sprintf "%.0f B" b_mean;
+          Printf.sprintf "%.1f" (1. /. Float.max 1e-9 mean);
+        ];
+      Json_out.record ~experiment:"sweep" ~scale
+        ([
+           ("machines", float_of_int machines);
+           ("round_mean_s", mean);
+           ("round_p50_s", p50);
+           ("round_p99_s", p99);
+           ("round_alloc_bytes", b_mean);
+           ("rounds_per_sec", 1. /. Float.max 1e-9 mean);
+         ]
+        @ List.map (fun (p, m) -> ("phase_" ^ p ^ "_mean_s", m)) phase_means))
+    points
 
 (* {1 Registry} *)
 
@@ -910,4 +996,5 @@ let all =
     ("fig19b", "Testbed, background traffic", fig19b);
     ("alloc", "Steady-state round latency + allocations", alloc);
     ("pipeline", "Pipelined vs synchronous rounds", pipeline);
+    ("sweep", "Scale sweep across the machine ladder", sweep);
   ]

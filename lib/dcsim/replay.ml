@@ -34,6 +34,13 @@ let m_stale_placements =
     ~help:"solver placements discarded at commit (stale or capacity-rejected)"
     "dcsim_stale_placements_total"
 
+let m_replayed_placements =
+  Telemetry.Metrics.counter m
+    ~help:
+      "solver placements recognized as no-op replays of tasks that finished \
+       mid-solve (not discards: nothing was invalidated)"
+    "dcsim_replayed_placements_total"
+
 type config = {
   scheduler : Firmament.Scheduler.config;
   policy :
@@ -72,6 +79,10 @@ type metrics = {
   unfinished_waiting : int;
   events_absorbed_mid_solve : int;
   stale_placements : int;
+  stale_task_discards : int;
+  stale_machine_discards : int;
+  capacity_discards : int;
+  replayed_placements : int;
   structure_violations : int;
 }
 
@@ -193,6 +204,10 @@ let run_with ?(config = default_config) ~trace ~on_round () =
   in
   let events_mid_solve = ref 0 in
   let stale_placements = ref 0 in
+  let stale_task_discards = ref 0 in
+  let stale_machine_discards = ref 0 in
+  let capacity_discards = ref 0 in
+  let replayed_placements = ref 0 in
   (* One scheduling round. Synchronous: the classic schedule call.
      Pipelined: dispatch the solve, then apply every trace event that
      lands inside the solver window *while the solve is in flight* — the
@@ -218,6 +233,17 @@ let run_with ?(config = default_config) ~trace ~on_round () =
       let ds = List.length round.Firmament.Scheduler.discarded in
       Telemetry.Metrics.add m m_stale_placements ds;
       stale_placements := !stale_placements + ds;
+      List.iter
+        (fun (_tid, reason) ->
+          match reason with
+          | `Stale_task -> incr stale_task_discards
+          | `Stale_machine -> incr stale_machine_discards
+          | `Capacity -> incr capacity_discards)
+        round.Firmament.Scheduler.discarded;
+      Telemetry.Metrics.add m m_replayed_placements
+        round.Firmament.Scheduler.replayed;
+      replayed_placements :=
+        !replayed_placements + round.Firmament.Scheduler.replayed;
       (round, applied_n > 0)
     end
   in
@@ -324,6 +350,10 @@ let run_with ?(config = default_config) ~trace ~on_round () =
     unfinished_waiting = Cluster.State.waiting_count cluster;
     events_absorbed_mid_solve = !events_mid_solve;
     stale_placements = !stale_placements;
+    stale_task_discards = !stale_task_discards;
+    stale_machine_discards = !stale_machine_discards;
+    capacity_discards = !capacity_discards;
+    replayed_placements = !replayed_placements;
     structure_violations =
       List.length
         (Firmament.Flow_network.validate_structure

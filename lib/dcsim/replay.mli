@@ -63,7 +63,23 @@ type metrics = {
   stale_placements : int;
       (** solver placements the commit discarded instead of applying —
           stale against mid-solve events or capacity-rejected; every one
-          is accounted here, none is silently committed *)
+          is accounted here, none is silently committed. Equals
+          [stale_task_discards + stale_machine_discards +
+          capacity_discards]. *)
+  stale_task_discards : int;
+      (** discards whose task was genuinely invalidated mid-solve
+          (preempted, or finished and re-placed elsewhere) *)
+  stale_machine_discards : int;
+      (** discards whose target machine failed mid-solve *)
+  capacity_discards : int;
+      (** discards rejected by the authoritative capacity re-check *)
+  replayed_placements : int;
+      (** placements recognized as no-op replays — the task finished
+          mid-solve and the solver (re)confirmed the machine it was
+          running on. Counted separately from [stale_placements]: nothing
+          was invalidated, so treating them as stale would overstate
+          commit churn (at one point 695 of 701 "stale" placements in the
+          pipelined bench were replays of completed tasks) *)
   structure_violations : int;
       (** flow-network invariant violations at end of replay (see
           {!Firmament.Flow_network.validate_structure}); 0 on a healthy

@@ -27,6 +27,12 @@ type t = {
   racks : (Cluster.Types.rack_id, G.node) Hashtbl.t;
   unscheduled : (Cluster.Types.job_id, G.node) Hashtbl.t;
   request_aggs : (int, G.node) Hashtbl.t;
+  (* Cached machine->sink arc handles, maintained by
+     [ensure_machine]/[remove_machine]. Arc ids survive graph copies and
+     [set_graph] swaps between structure-preserving copies, so readers
+     (placement extraction, validation) can use them on any adopted
+     solution graph without re-scanning out-lists. *)
+  sink_arcs : (Cluster.Types.machine_id, G.arc) Hashtbl.t;
   mutable cluster_agg : G.node option;
   mutable n_tasks : int;
 }
@@ -45,6 +51,7 @@ let create ?node_hint ?arc_hint () =
     racks = Hashtbl.create 16;
     unscheduled = Hashtbl.create 16;
     request_aggs = Hashtbl.create 16;
+    sink_arcs = Hashtbl.create 64;
     cluster_agg = None;
     n_tasks = 0;
   }
@@ -215,7 +222,8 @@ let ensure_machine t m ~slots =
       let n = G.add_node t.g ~supply:0 in
       Hashtbl.replace t.kinds n (Machine_node m);
       Hashtbl.replace t.machines m n;
-      ignore (G.add_arc t.g ~src:n ~dst:t.sink ~cost:0 ~cap:slots);
+      let a = G.add_arc t.g ~src:n ~dst:t.sink ~cost:0 ~cap:slots in
+      Hashtbl.replace t.sink_arcs m a;
       n
 
 let remove_machine t m =
@@ -224,7 +232,10 @@ let remove_machine t m =
   | Some n ->
       G.remove_node t.g n;
       Hashtbl.remove t.machines m;
+      Hashtbl.remove t.sink_arcs m;
       Hashtbl.remove t.kinds n
+
+let machine_sink_arc t m = Hashtbl.find_opt t.sink_arcs m
 
 let ensure_rack t r =
   match Hashtbl.find_opt t.racks r with
@@ -318,7 +329,15 @@ let validate_structure t =
     (fun m n ->
       if not (G.node_is_live t.g n) then err "machine %d maps to dead node %d" m n
       else begin
-        (* A machine's only outgoing forward arc must lead to the sink. *)
+        (* The cached sink-arc handle must be a live n->sink arc... *)
+        (match Hashtbl.find_opt t.sink_arcs m with
+        | None -> err "machine %d has no cached sink arc" m
+        | Some a ->
+            if not (G.arc_is_live t.g a) then err "machine %d cached sink arc %d is dead" m a
+            else if G.src t.g a <> n || G.dst t.g a <> t.sink then
+              err "machine %d cached sink arc %d runs %d->%d, expected %d->sink" m a
+                (G.src t.g a) (G.dst t.g a) n);
+        (* ...and remain the machine's only outgoing forward arc. *)
         let it = ref (G.first_out t.g n) in
         while !it >= 0 do
           let a = !it in

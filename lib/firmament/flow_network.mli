@@ -82,6 +82,14 @@ val ensure_machine :
 val machine_node : t -> Cluster.Types.machine_id -> Flowgraph.Graph.node option
 val machine_of_node : t -> Flowgraph.Graph.node -> Cluster.Types.machine_id option
 
+(** [machine_sink_arc t m] is machine [m]'s cached machine→sink arc
+    handle (the one created by {!ensure_machine}), or [None] for an
+    unknown/removed machine. O(1); replaces the {!find_arc} out-list
+    scans the placement extractor used to do per round. The handle stays
+    valid across {!set_graph} because the race deals in
+    structure-preserving copies. *)
+val machine_sink_arc : t -> Cluster.Types.machine_id -> Flowgraph.Graph.arc option
+
 (** [remove_machine t m] removes the machine node and all incident arcs
     (machine failure). *)
 val remove_machine : t -> Cluster.Types.machine_id -> unit

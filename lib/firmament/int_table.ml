@@ -1,0 +1,92 @@
+type t = {
+  mutable keys : int array; (* -1 = empty slot *)
+  mutable vals : int array;
+  mutable mask : int; (* capacity - 1, capacity a power of two *)
+  mutable count : int;
+}
+
+let rec pow2_above n c = if c >= n then c else pow2_above n (c * 2)
+
+let create ?(capacity = 16) () =
+  let cap = pow2_above (max 8 capacity) 8 in
+  { keys = Array.make cap (-1); vals = Array.make cap 0; mask = cap - 1; count = 0 }
+
+let length t = t.count
+
+(* Murmur-style finalizer: linear probing needs well-mixed low bits. *)
+let mix k =
+  let h = k lxor (k lsr 33) in
+  let h = h * 0xFF51AFD7ED558CC in
+  let h = h lxor (h lsr 29) in
+  h land max_int
+
+let home t k = mix k land t.mask
+
+(* Slot holding [k], or -1 if absent. *)
+let rec probe t k i =
+  let kk = Array.unsafe_get t.keys i in
+  if kk = k then i else if kk < 0 then -1 else probe t k ((i + 1) land t.mask)
+
+let find t k =
+  let i = probe t k (home t k) in
+  if i < 0 then -1 else Array.unsafe_get t.vals i
+
+let mem t k = probe t k (home t k) >= 0
+
+let rec insert t k v i =
+  let kk = Array.unsafe_get t.keys i in
+  if kk = k then t.vals.(i) <- v
+  else if kk < 0 then begin
+    t.keys.(i) <- k;
+    t.vals.(i) <- v;
+    t.count <- t.count + 1
+  end
+  else insert t k v ((i + 1) land t.mask)
+
+let grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let cap = 2 * Array.length old_keys in
+  t.keys <- Array.make cap (-1);
+  t.vals <- Array.make cap 0;
+  t.mask <- cap - 1;
+  t.count <- 0;
+  Array.iteri (fun i k -> if k >= 0 then insert t k old_vals.(i) (home t k)) old_keys
+
+let set t k v =
+  if k < 0 || v < 0 then invalid_arg "Int_table.set: negative key or value";
+  if 2 * (t.count + 1) > Array.length t.keys then grow t;
+  insert t k v (home t k)
+
+let remove t k =
+  let i = probe t k (home t k) in
+  if i >= 0 then begin
+    t.count <- t.count - 1;
+    let mask = t.mask in
+    (* Backward-shift deletion: pull displaced entries over the hole so
+       every remaining key stays reachable from its home slot. *)
+    let hole = ref i in
+    let j = ref ((i + 1) land mask) in
+    while t.keys.(!j) >= 0 do
+      let h = home t t.keys.(!j) in
+      (* Entry at [j] may fill the hole iff its home does not lie in the
+         cyclic interval (hole, j] — i.e. probing from [h] would pass
+         through the hole anyway. *)
+      if (!j - h) land mask >= (!j - !hole) land mask then begin
+        t.keys.(!hole) <- t.keys.(!j);
+        t.vals.(!hole) <- t.vals.(!j);
+        hole := !j
+      end;
+      j := (!j + 1) land mask
+    done;
+    t.keys.(!hole) <- -1
+  end
+
+let clear t =
+  Array.fill t.keys 0 (Array.length t.keys) (-1);
+  t.count <- 0
+
+let iter t f =
+  for i = 0 to Array.length t.keys - 1 do
+    let k = Array.unsafe_get t.keys i in
+    if k >= 0 then f k (Array.unsafe_get t.vals i)
+  done

@@ -1,0 +1,40 @@
+(** Preallocated open-addressing map from non-negative int keys to
+    non-negative int values.
+
+    Replaces fresh [Hashtbl]s on the round hot path (placement
+    extraction workspaces): storage is two flat int arrays reused across
+    rounds, lookups and updates allocate nothing in steady state, and
+    [clear] retains capacity. Linear probing with backward-shift
+    deletion (no tombstones), load factor ≤ 1/2.
+
+    Both keys and values must be ≥ 0 — [find]'s "absent" result is [-1]. *)
+
+type t
+
+(** [create ?capacity ()] pre-sizes the table for about [capacity]
+    entries (default 16; rounded up to a power of two internally). *)
+val create : ?capacity:int -> unit -> t
+
+val length : t -> int
+
+(** [find t k] is the value bound to [k], or [-1] if absent. Never
+    allocates. *)
+val find : t -> int -> int
+
+val mem : t -> int -> bool
+
+(** [set t k v] binds [k] to [v], replacing any previous binding.
+    Amortized allocation-free (doubles storage when load exceeds 1/2).
+    @raise Invalid_argument if [k < 0] or [v < 0]. *)
+val set : t -> int -> int -> unit
+
+(** [remove t k] drops [k]'s binding if present (backward-shift, so
+    probe chains stay compact and later finds never slow down). *)
+val remove : t -> int -> unit
+
+(** [clear t] empties the table, keeping its storage. *)
+val clear : t -> unit
+
+(** [iter t f] applies [f key value] to every binding, in storage order.
+    [f] must not mutate [t]. *)
+val iter : t -> (int -> int -> unit) -> unit

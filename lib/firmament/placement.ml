@@ -8,114 +8,380 @@ type assignment = {
 
 let fail fmt = Format.kasprintf failwith fmt
 
-(* Incoming flow arcs of [n]: reverse residual arcs in n's out-list whose
-   residual capacity is the flow on their forward member. *)
-let iter_incoming_flow g n f =
-  let it = ref (G.first_out g n) in
-  while !it >= 0 do
-    let a = !it in
-    if (not (G.is_forward a)) && G.rescap g a > 0 then
-      f ~src:(G.dst g a) ~flow:(G.rescap g a);
-    it := G.next_out g a
-  done
+(* Stored decomposition paths are shallow: the deepest policy graph is
+   task -> request-agg -> rack -> machine -> sink. The cap only bounds
+   the preallocated per-task path storage; exceeding it means the graph
+   is not the layered DAG the policies build and extraction fails. *)
+let max_hops = 16
 
-let extract net =
+(* Hop cap for the backtracking pseudoflow walks (partial/snapshot),
+   which may revisit layers while probing. Matches the historical cap. *)
+let walk_hops = 64
+
+exception Desync of string
+
+(* A reusable extraction workspace (DESIGN.md "Memory discipline"): flat
+   int arrays indexed by forward-arc slot [a/2] or by task slot, plus an
+   {!Int_table} mapping task id -> slot. Holds two independent pieces of
+   state:
+
+   - the {e delta decomposition}: one stored sink path per task of the
+     last graph synced via [extract_delta]/[extract], with [used.(s)]
+     counting stored-path crossings of arc slot [s] (equal to that arc's
+     flow when synced) and [gen.(s)] remembering the arc-pair generation
+     stamp, so the next sync can walk only arcs whose flow or identity
+     changed;
+   - scratch budgets for the backtracking pseudoflow walks
+     ([extract_partial]/[extract_snapshot]), epoch-stamped so they reset
+     in O(1) and never disturb the delta state. *)
+type workspace = {
+  (* delta decomposition, per forward-arc slot *)
+  mutable used : int array;
+  mutable gen : int array;
+  mutable flow_dirty : int array; (* epoch marks *)
+  mutable gen_dirty : int array; (* epoch marks *)
+  mutable epoch : int;
+  (* tracked tasks: task id -> slot via [slots]; slot-indexed arrays *)
+  slots : Int_table.t;
+  mutable s_tid : int array; (* -1 = free slot *)
+  mutable s_mach : int array; (* -1 = unscheduled *)
+  mutable s_len : int array;
+  mutable s_path : int array; (* slot * max_hops + i -> forward arc *)
+  mutable s_top : int;
+  mutable s_free : int array; (* free-slot stack *)
+  mutable s_free_top : int;
+  mutable n_unsched : int;
+  mutable synced : bool;
+  (* pending (tid, prev-mach) pairs during a sync *)
+  mutable pend : int array;
+  mutable pend_top : int;
+  (* scratch budgets for pseudoflow walks, per forward-arc slot *)
+  mutable budget : int array;
+  mutable budget_mark : int array; (* epoch marks *)
+  mutable budget_epoch : int;
+}
+
+let create_workspace () =
+  {
+    used = [||];
+    gen = [||];
+    flow_dirty = [||];
+    gen_dirty = [||];
+    epoch = 0;
+    slots = Int_table.create ();
+    s_tid = Array.make 64 (-1);
+    s_mach = Array.make 64 (-1);
+    s_len = Array.make 64 0;
+    s_path = Array.make (64 * max_hops) (-1);
+    s_top = 0;
+    s_free = Array.make 64 0;
+    s_free_top = 0;
+    n_unsched = 0;
+    synced = false;
+    pend = Array.make 128 0;
+    pend_top = 0;
+    budget = [||];
+    budget_mark = [||];
+    budget_epoch = 0;
+  }
+
+let grow_copy a n fill =
+  let b = Array.make n fill in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let ensure_arc_capacity ws n =
+  if Array.length ws.used < n then begin
+    let cap = max n (2 * Array.length ws.used) in
+    ws.used <- grow_copy ws.used cap 0;
+    ws.gen <- grow_copy ws.gen cap 0;
+    ws.flow_dirty <- grow_copy ws.flow_dirty cap 0;
+    ws.gen_dirty <- grow_copy ws.gen_dirty cap 0
+  end
+
+let ensure_budget_capacity ws n =
+  if Array.length ws.budget < n then begin
+    let cap = max n (2 * Array.length ws.budget) in
+    ws.budget <- grow_copy ws.budget cap 0;
+    ws.budget_mark <- grow_copy ws.budget_mark cap 0
+  end
+
+let alloc_slot ws tid =
+  let s =
+    if ws.s_free_top > 0 then begin
+      ws.s_free_top <- ws.s_free_top - 1;
+      ws.s_free.(ws.s_free_top)
+    end
+    else begin
+      if ws.s_top >= Array.length ws.s_tid then begin
+        let cap = 2 * Array.length ws.s_tid in
+        ws.s_tid <- grow_copy ws.s_tid cap (-1);
+        ws.s_mach <- grow_copy ws.s_mach cap (-1);
+        ws.s_len <- grow_copy ws.s_len cap 0;
+        ws.s_path <- grow_copy ws.s_path (cap * max_hops) (-1)
+      end;
+      let s = ws.s_top in
+      ws.s_top <- ws.s_top + 1;
+      s
+    end
+  in
+  ws.s_tid.(s) <- tid;
+  ws.s_mach.(s) <- -1;
+  ws.s_len.(s) <- 0;
+  Int_table.set ws.slots tid s;
+  s
+
+let free_slot ws s =
+  Int_table.remove ws.slots ws.s_tid.(s);
+  ws.s_tid.(s) <- -1;
+  if ws.s_free_top >= Array.length ws.s_free then
+    ws.s_free <- grow_copy ws.s_free (2 * Array.length ws.s_free) 0;
+  ws.s_free.(ws.s_free_top) <- s;
+  ws.s_free_top <- ws.s_free_top + 1
+
+let reset ws =
+  Array.fill ws.used 0 (Array.length ws.used) 0;
+  Array.fill ws.gen 0 (Array.length ws.gen) 0;
+  Int_table.clear ws.slots;
+  Array.fill ws.s_tid 0 (Array.length ws.s_tid) (-1);
+  ws.s_top <- 0;
+  ws.s_free_top <- 0;
+  ws.n_unsched <- 0;
+  ws.pend_top <- 0;
+  ws.synced <- false
+
+let push_pending ws tid prev =
+  if ws.pend_top + 2 > Array.length ws.pend then
+    ws.pend <- grow_copy ws.pend (2 * Array.length ws.pend) 0;
+  ws.pend.(ws.pend_top) <- tid;
+  ws.pend.(ws.pend_top + 1) <- prev;
+  ws.pend_top <- ws.pend_top + 2
+
+(* Drop task slot [s]'s stored path, returning its units of [used]. *)
+let revoke_path ws s =
+  for i = 0 to ws.s_len.(s) - 1 do
+    let k = ws.s_path.((s * max_hops) + i) lsr 1 in
+    ws.used.(k) <- ws.used.(k) - 1
+  done;
+  if ws.s_mach.(s) < 0 then ws.n_unsched <- ws.n_unsched - 1;
+  free_slot ws s
+
+(* Route task [tid]'s unit greedily along spare flow (flow - used > 0).
+   On a feasible flow whose [used] never exceeds per-arc flow, spare
+   obeys flow conservation at interior nodes, so the walk cannot dead-end
+   and terminates on the layered policy DAG. *)
+let route_task ws net g sink tid node =
+  let s = alloc_slot ws tid in
+  let v = ref node in
+  let prev = ref node in
+  let hops = ref 0 in
+  while !v <> sink do
+    if !hops >= max_hops then raise (Desync "path exceeds hop cap");
+    let carrier = ref (-1) in
+    let it = ref (G.first_out g !v) in
+    while !carrier < 0 && !it >= 0 do
+      let a = !it in
+      if G.is_forward a && G.rescap g (G.rev a) - ws.used.(a lsr 1) > 0 then carrier := a;
+      it := G.next_out g a
+    done;
+    if !carrier < 0 then
+      raise (Desync (Printf.sprintf "no spare outgoing flow at node %d" !v));
+    let a = !carrier in
+    ws.s_path.((s * max_hops) + !hops) <- a;
+    ws.used.(a lsr 1) <- ws.used.(a lsr 1) + 1;
+    incr hops;
+    prev := !v;
+    v := G.dst g a
+  done;
+  ws.s_len.(s) <- !hops;
+  match FN.kind_opt net !prev with
+  | Some (FN.Machine_node m) -> ws.s_mach.(s) <- m
+  | Some (FN.Unscheduled_agg _) ->
+      ws.s_mach.(s) <- -1;
+      ws.n_unsched <- ws.n_unsched + 1
+  | _ ->
+      raise
+        (Desync (Printf.sprintf "node %d sends task flow directly to the sink" !prev))
+
+(* One sync pass: dirty-scan the arcs, revoke paths the new flow no
+   longer supports, re-route revoked and new tasks, [emit] each task
+   whose stored path was (re)built. Raises {!Desync} if the stored state
+   and the graph disagree structurally. *)
+let sync_pass ws net ~emit =
   let g = FN.graph net in
   let sink = FN.sink net in
+  let nslots = (G.arc_bound g + 1) / 2 in
+  ensure_arc_capacity ws nslots;
+  ws.epoch <- ws.epoch + 1;
+  let epoch = ws.epoch in
+  let any_dirty = ref false in
+  (* Pass 1: per-arc dirty scan — flow or generation changed since the
+     last sync. Dead slots read as flow 0 / generation 0. *)
+  for k = 0 to nslots - 1 do
+    let a = 2 * k in
+    let live = G.arc_is_live g a in
+    let flw = if live then G.rescap g (a + 1) else 0 in
+    let gn = if live then G.arc_generation g a else 0 in
+    if gn <> ws.gen.(k) then begin
+      ws.gen_dirty.(k) <- epoch;
+      ws.gen.(k) <- gn;
+      any_dirty := true
+    end;
+    if flw <> ws.used.(k) then begin
+      ws.flow_dirty.(k) <- epoch;
+      any_dirty := true
+    end
+  done;
+  ws.pend_top <- 0;
+  if !any_dirty || FN.task_count net <> Int_table.length ws.slots then begin
+    (* Pass 2: revoke stored paths invalidated by the dirty arcs. A path
+       must go if any hop's arc identity changed, or if more stored
+       paths cross a hop than the new flow supports (checked against
+       [used] as revocations land, so exactly the overuse is revoked). *)
+    if !any_dirty then
+      for s = 0 to ws.s_top - 1 do
+        let tid = ws.s_tid.(s) in
+        if tid >= 0 then begin
+          let len = ws.s_len.(s) in
+          let base = s * max_hops in
+          let touched = ref false in
+          let must = ref false in
+          for i = 0 to len - 1 do
+            let k = ws.s_path.(base + i) lsr 1 in
+            if ws.gen_dirty.(k) = epoch then begin
+              touched := true;
+              must := true
+            end
+            else if ws.flow_dirty.(k) = epoch then touched := true
+          done;
+          if !touched then begin
+            let overused = ref false in
+            if not !must then
+              for i = 0 to len - 1 do
+                let a = ws.s_path.(base + i) in
+                if ws.used.(a lsr 1) > G.rescap g (a + 1) then overused := true
+              done;
+            if !must || !overused then begin
+              let prev = ws.s_mach.(s) in
+              revoke_path ws s;
+              (* A task no longer in the network just drops out of the
+                 decomposition; live tasks are re-routed below. *)
+              if FN.task_node net tid <> None then push_pending ws tid prev
+            end
+          end
+        end
+      done;
+    (* Pass 3: tasks the network has that we do not track yet. *)
+    FN.iter_task_nodes net (fun tid _node ->
+        if Int_table.find ws.slots tid < 0 then push_pending ws tid (-2));
+    (* Pass 4: re-route. A task revoked in pass 2 is untracked by the
+       time pass 3 scans, so it is pushed twice; the slot check routes
+       (and emits) it exactly once. Emitted unconditionally — the
+       caller's commit no-ops on unchanged assignments, and emitting
+       re-routed tasks even when they land on the same machine keeps the
+       delta sound if a task id is ever removed and re-added between
+       syncs. *)
+    let n = ws.pend_top in
+    let i = ref 0 in
+    while !i < n do
+      let tid = ws.pend.(!i) in
+      (match FN.task_node net tid with
+      | None -> ()
+      | Some node ->
+          if Int_table.find ws.slots tid < 0 then begin
+            route_task ws net g sink tid node;
+            let m = ws.s_mach.(Int_table.find ws.slots tid) in
+            emit tid (if m < 0 then None else Some m)
+          end);
+      i := !i + 2
+    done
+  end
+
+let sync_with_rebuild ws net ~emit =
+  ws.synced <- false;
+  (try sync_pass ws net ~emit
+   with Desync _ ->
+     (* Stored state diverged from the graph (should not happen when the
+        caller only syncs adopted optimal flows): rebuild from scratch.
+        A failure on a clean rebuild is a genuine structural violation. *)
+     reset ws;
+     (try sync_pass ws net ~emit with Desync msg -> fail "Placement.extract: %s" msg));
+  ws.synced <- true
+
+let extract_delta ws net =
+  if not ws.synced then reset ws;
+  let changes = ref [] in
+  let emit tid m = changes := (tid, m) :: !changes in
+  sync_with_rebuild ws net ~emit;
+  !changes
+
+let delta_assignments ws =
+  let out = ref [] in
+  for s = ws.s_top - 1 downto 0 do
+    let tid = ws.s_tid.(s) in
+    if tid >= 0 then begin
+      let m = ws.s_mach.(s) in
+      out := { task = tid; machine = (if m < 0 then None else Some m) } :: !out
+    end
+  done;
+  List.sort (fun a b -> compare a.task b.task) !out
+
+let delta_lookup ws tid =
+  match Int_table.find ws.slots tid with
+  | -1 -> None
+  | s ->
+      let m = ws.s_mach.(s) in
+      Some (if m < 0 then None else Some m)
+
+let delta_unscheduled ws = ws.n_unsched
+let delta_synced ws = ws.synced
+
+let extract ?workspace net =
+  let g = FN.graph net in
   G.iter_nodes g (fun n ->
       if G.excess g n <> 0 then
         fail "Placement.extract: infeasible flow (node %d has excess %d)" n (G.excess g n));
-  (* Tokens and Kahn counters. *)
-  let tokens : (G.node, Cluster.Types.machine_id list) Hashtbl.t = Hashtbl.create 256 in
-  let give n tok =
-    Hashtbl.replace tokens n (tok :: (Option.value ~default:[] (Hashtbl.find_opt tokens n)))
-  in
-  let take n =
-    match Hashtbl.find_opt tokens n with
-    | Some (tok :: rest) ->
-        Hashtbl.replace tokens n rest;
-        tok
-    | Some [] | None -> fail "Placement.extract: node %d ran out of tokens" n
-  in
-  (* pending.(n) = machine-bound outgoing flow an aggregator still awaits
-     tokens for. Tasks and machines are handled specially. *)
-  let pending : (G.node, int) Hashtbl.t = Hashtbl.create 256 in
-  let mappings : (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t =
-    Hashtbl.create 256
-  in
-  let ready = Queue.create () in
-  (* Initialize counters for aggregator nodes and mint machine tokens. *)
-  G.iter_nodes g (fun n ->
-      match FN.kind net n with
-      | FN.Sink | FN.Task_node _ | FN.Unscheduled_agg _ -> ()
-      | FN.Machine_node m -> (
-          match FN.find_arc net n sink with
-          | None -> fail "Placement.extract: machine %d lacks a sink arc" m
-          | Some a ->
-              let f = G.flow g a in
-              for _ = 1 to f do
-                give n m
-              done;
-              if f > 0 then Queue.add n ready)
-      | FN.Rack_node _ | FN.Cluster_agg | FN.Request_agg _ ->
-          let out = ref 0 in
-          let it = ref (G.first_out g n) in
-          while !it >= 0 do
-            let a = !it in
-            if G.is_forward a then begin
-              if G.dst g a = sink && G.flow g a > 0 then
-                fail "Placement.extract: aggregator node %d sends flow directly to the sink" n;
-              out := !out + G.flow g a
-            end;
-            it := G.next_out g a
-          done;
-          Hashtbl.replace pending n !out);
-  (* Backward token propagation. *)
-  let distribute n =
-    iter_incoming_flow g n (fun ~src ~flow ->
-        match FN.kind net src with
-        | FN.Task_node tid ->
-            if flow <> 1 then fail "Placement.extract: task %d sends flow %d" tid flow;
-            Hashtbl.replace mappings tid (take n)
-        | FN.Rack_node _ | FN.Cluster_agg | FN.Request_agg _ ->
-            for _ = 1 to flow do
-              give src (take n)
-            done;
-            let p = Hashtbl.find pending src - flow in
-            Hashtbl.replace pending src p;
-            if p = 0 then Queue.add src ready
-            else if p < 0 then fail "Placement.extract: node %d over-received tokens" src
-        | FN.Machine_node _ ->
-            fail "Placement.extract: machine node %d receives flow from node %d downstream" src n
-        | FN.Sink -> ()
-        | FN.Unscheduled_agg j ->
-            fail "Placement.extract: unscheduled aggregator %d feeds a machine-bound node" j)
-  in
-  while not (Queue.is_empty ready) do
-    distribute (Queue.pop ready)
-  done;
-  let out = ref [] in
-  FN.iter_task_nodes net (fun tid _node ->
-      out := { task = tid; machine = Hashtbl.find_opt mappings tid } :: !out);
-  List.sort (fun a b -> compare a.task b.task) !out
+  let ws = match workspace with Some w -> w | None -> create_workspace () in
+  ensure_arc_capacity ws ((G.arc_bound g + 1) / 2);
+  reset ws;
+  sync_with_rebuild ws net ~emit:(fun _ _ -> ());
+  delta_assignments ws
 
-let extract_partial net =
+(* --- backtracking pseudoflow walks (early-terminated solver states) --- *)
+
+(* Arm the epoch-stamped per-arc budgets: [remaining] defaults to the
+   arc's current flow the first time a slot is touched this walk. *)
+let arm_budgets ws g =
+  ensure_budget_capacity ws ((G.arc_bound g + 1) / 2);
+  ws.budget_epoch <- ws.budget_epoch + 1
+
+let remaining ws g a =
+  let k = a lsr 1 in
+  if ws.budget_mark.(k) = ws.budget_epoch then ws.budget.(k) else G.flow g a
+
+let consume ws g a =
+  let k = a lsr 1 in
+  ws.budget.(k) <- remaining ws g a - 1;
+  ws.budget_mark.(k) <- ws.budget_epoch
+
+let refund ws g a =
+  let k = a lsr 1 in
+  ws.budget.(k) <- remaining ws g a + 1;
+  ws.budget_mark.(k) <- ws.budget_epoch
+
+let extract_partial ?workspace net =
   let g = FN.graph net in
   let sink = FN.sink net in
-  (* Walk one unit of flow from [n] toward a machine, consuming it from a
-     scratch per-arc budget so two tasks never claim the same unit. The
-     walk backtracks: a branch that dead-ends (hop limit, exhausted
-     budget, unscheduled aggregator) refunds every unit it consumed and
-     the parent tries its next arc — an aborted probe must not leak flow
+  let ws = match workspace with Some w -> w | None -> create_workspace () in
+  arm_budgets ws g;
+  (* Walk one unit of flow from [n] toward a machine, consuming it from
+     the per-arc budget so two tasks never claim the same unit. The walk
+     backtracks: a branch that dead-ends (hop limit, exhausted budget,
+     unscheduled aggregator) refunds every unit it consumed and the
+     parent tries its next arc — an aborted probe must not leak flow
      that tasks sharing a path prefix could still claim. *)
-  let budget : (G.arc, int) Hashtbl.t = Hashtbl.create 256 in
-  let remaining a =
-    match Hashtbl.find_opt budget a with Some r -> r | None -> G.flow g a
-  in
-  let consume a = Hashtbl.replace budget a (remaining a - 1) in
-  let refund a = Hashtbl.replace budget a (remaining a + 1) in
   let rec walk n hops =
-    if hops > 64 then None
+    if hops > walk_hops then None
     else if n = sink then None
     else
       match FN.kind net n with
@@ -123,10 +389,10 @@ let extract_partial net =
           (* Claim a unit of the machine's sink arc: a mid-solve
              pseudoflow may park excess at a machine node, and without
              this check more tasks could land here than the machine's
-             slot capacity admits. *)
-          match FN.find_arc net n sink with
-          | Some a when remaining a > 0 ->
-              consume a;
+             slot capacity admits. O(1) via the cached handle. *)
+          match FN.machine_sink_arc net m with
+          | Some a when remaining ws g a > 0 ->
+              consume ws g a;
               Some m
           | Some _ | None -> None)
       | FN.Unscheduled_agg _ -> None
@@ -135,11 +401,11 @@ let extract_partial net =
           let it = ref (G.first_out g n) in
           while !result = None && !it >= 0 do
             let a = !it in
-            if G.is_forward a && remaining a > 0 then begin
-              consume a;
+            if G.is_forward a && remaining ws g a > 0 then begin
+              consume ws g a;
               match walk (G.dst g a) (hops + 1) with
               | Some _ as r -> result := r
-              | None -> refund a
+              | None -> refund ws g a
             end;
             it := G.next_out g a
           done;
@@ -150,20 +416,18 @@ let extract_partial net =
       out := { task = tid; machine = walk node 0 } :: !out);
   List.sort (fun a b -> compare a.task b.task) !out
 
-let extract_snapshot g ~sink ~classify ~tasks =
+let extract_snapshot ?workspace g ~sink ~classify ~tasks =
   (* Same budget/backtracking walk as [extract_partial], but over a solver
      snapshot that may have diverged from the live network: node
      classification goes through [classify] (which the scheduler builds
      from the live tables plus its mid-solve event log) instead of the
      network's own kind table, so task and machine nodes removed — or
      whose ids were recycled — after the snapshot was taken are still
-     interpreted as the snapshot saw them. *)
-  let budget : (G.arc, int) Hashtbl.t = Hashtbl.create 256 in
-  let remaining a =
-    match Hashtbl.find_opt budget a with Some r -> r | None -> G.flow g a
-  in
-  let consume a = Hashtbl.replace budget a (remaining a - 1) in
-  let refund a = Hashtbl.replace budget a (remaining a + 1) in
+     interpreted as the snapshot saw them. Sink-arc claims scan the
+     snapshot's out-list: cached handles describe the live network, not
+     the snapshot. *)
+  let ws = match workspace with Some w -> w | None -> create_workspace () in
+  arm_budgets ws g;
   let claim_sink_unit n =
     let sa = ref (-1) in
     let it = ref (G.first_out g n) in
@@ -172,8 +436,8 @@ let extract_snapshot g ~sink ~classify ~tasks =
       if G.is_forward a && G.dst g a = sink then sa := a;
       it := G.next_out g a
     done;
-    if !sa >= 0 && remaining !sa > 0 then begin
-      consume !sa;
+    if !sa >= 0 && remaining ws g !sa > 0 then begin
+      consume ws g !sa;
       true
     end
     else false
@@ -183,17 +447,17 @@ let extract_snapshot g ~sink ~classify ~tasks =
     let it = ref (G.first_out g n) in
     while !result = None && !it >= 0 do
       let a = !it in
-      if G.is_forward a && remaining a > 0 then begin
-        consume a;
+      if G.is_forward a && remaining ws g a > 0 then begin
+        consume ws g a;
         match walk (G.dst g a) (hops + 1) with
         | Some _ as r -> result := r
-        | None -> refund a
+        | None -> refund ws g a
       end;
       it := G.next_out g a
     done;
     !result
   and walk n hops =
-    if hops > 64 || n = sink then None
+    if hops > walk_hops || n = sink then None
     else
       match classify n with
       | `Machine m -> if claim_sink_unit n then Some m else None

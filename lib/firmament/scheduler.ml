@@ -52,6 +52,21 @@ let m_solve_ns =
   Telemetry.Metrics.histogram m ~help:"solve phase incl. infeasibility retry (ns)"
     "sched_phase_solve_ns"
 
+(* Split attribution of the solve phase: [win] is the winning solver's
+   algorithm runtime (retry attempts included), [wait] is everything else
+   the round spent inside the solve phase — capped losers in sequential
+   mode, dispatch copies, join overhead. These are observability
+   sub-phases of [sched_phase_solve_ns], not additional round phases:
+   win + wait ≈ solve, and the round's phase list is unchanged. *)
+let m_solve_win_ns =
+  Telemetry.Metrics.histogram m ~help:"winning solver's algorithm runtime (ns)"
+    "sched_phase_solve_win_ns"
+
+let m_solve_wait_ns =
+  Telemetry.Metrics.histogram m
+    ~help:"solve-phase time beyond the winner: losers, copies, join (ns)"
+    "sched_phase_solve_wait_ns"
+
 let m_adopt_ns =
   Telemetry.Metrics.histogram m ~help:"graph adoption phase (swap + recycle) (ns)"
     "sched_phase_adopt_ns"
@@ -117,6 +132,13 @@ let m_capacity_discards =
     ~help:"placements discarded at commit by the authoritative capacity re-check"
     "sched_capacity_discards_total"
 
+let m_replays =
+  Telemetry.Metrics.counter m
+    ~help:
+      "placements replaying a task that finished mid-solve on the machine it \
+       actually ran on — harmless no-ops, not stale discards"
+    "sched_noop_replays_total"
+
 let t_refresh = Telemetry.Trace.register tr "sched.refresh"
 let t_solve = Telemetry.Trace.register tr "sched.solve"
 let t_adopt = Telemetry.Trace.register tr "sched.adopt"
@@ -173,6 +195,7 @@ type round = {
   preempted : Cluster.Types.task_id list;
   unscheduled : int;
   discarded : (Cluster.Types.task_id * discard_reason) list;
+  replayed : int;
   phase_ns : (string * int) list;
 }
 
@@ -189,6 +212,11 @@ type pending = {
   p_changes : Flowgraph.Graph.change_summary;
   mutable p_mid_added : Cluster.Types.task_id list;
   mutable p_mid_finished : (Cluster.Types.task_id * Flowgraph.Graph.node) list;
+  (* Begin-time assignments of tasks that finished mid-solve, captured
+     before the finish dropped them from [assigned]: the commit uses
+     these to tell a harmless replay (solver re-stating where a finished
+     task actually ran) from a genuinely stale placement. *)
+  mutable p_mid_fin_prev : (Cluster.Types.task_id * Cluster.Types.machine_id) list;
   mutable p_mid_failed : (Cluster.Types.machine_id * Flowgraph.Graph.node) list;
   p_ck0 : int;  (* round begin *)
   p_ck1 : int;  (* refresh end *)
@@ -202,6 +230,14 @@ type t = {
   policy : Policy.t;
   race : Mcmf.Race.t;
   assigned : (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t;
+  (* Reusable extraction workspace: delta decomposition of the last
+     adopted optimal flow plus scratch budgets for the pseudoflow walks. *)
+  ws : Placement.workspace;
+  (* Tasks whose delta-reported assignment was discarded at commit
+     (stale/capacity): the decomposition thinks they are placed, the
+     cluster does not, and the flow may not move again — re-emit their
+     stored assignment on the next delta commit so they are not lost. *)
+  retry : (Cluster.Types.task_id, unit) Hashtbl.t;
   (* Change-summary totals at the previous solve, for per-round deltas
      (the summary on the graph accumulates; nobody may reset it here —
      incremental solvers read it through their own channel). *)
@@ -237,6 +273,8 @@ let create ?(config = default_config) cluster ~policy =
       Mcmf.Race.create ~alpha:config.alpha ~price_refine:config.price_refine
         ~mode:config.mode ();
     assigned = Hashtbl.create 1024;
+    ws = Placement.create_workspace ();
+    retry = Hashtbl.create 16;
     last_changes = Flowgraph.Graph.peek_changes (FN.graph net);
     pending = None;
     observer = None;
@@ -267,7 +305,11 @@ let finish_task t tid ~now =
   (match t.pending with
   | Some p when not (List.mem tid p.p_mid_added) -> (
       match FN.task_node t.net tid with
-      | Some n -> p.p_mid_finished <- (tid, n) :: p.p_mid_finished
+      | Some n ->
+          p.p_mid_finished <- (tid, n) :: p.p_mid_finished;
+          (match Hashtbl.find_opt t.assigned tid with
+          | Some mm -> p.p_mid_fin_prev <- (tid, mm) :: p.p_mid_fin_prev
+          | None -> ())
       | None -> ())
   | Some _ | None -> ());
   Cluster.State.finish t.cluster tid ~now;
@@ -316,7 +358,7 @@ let extract_partial_live t partial_graph =
     ~finally:(fun () -> FN.set_graph t.net keep)
     (fun () ->
       FN.set_graph t.net partial_graph;
-      Placement.extract_partial t.net)
+      Placement.extract_partial ~workspace:t.ws t.net)
 
 (* Reading a solver snapshot after mid-solve events: the tasks that
    existed at begin are the current task nodes minus those submitted
@@ -350,8 +392,28 @@ let snapshot_classifier t p =
         | Some (FN.Task_node _ | FN.Unscheduled_agg _ | FN.Sink) | None -> `Blocked)
 
 let extract_from_snapshot t p graph =
-  Placement.extract_snapshot graph ~sink:(FN.sink t.net)
+  Placement.extract_snapshot ~workspace:t.ws graph ~sink:(FN.sink t.net)
     ~classify:(snapshot_classifier t p) ~tasks:(snapshot_tasks t p)
+
+(* Begin-time assignments of mid-solve-finished tasks, as a lookup for
+   the commit's replay detection; [None] when no task finished. *)
+let fin_prev_table p =
+  match p.p_mid_fin_prev with
+  | [] -> None
+  | l ->
+      let h = Hashtbl.create 16 in
+      List.iter (fun (tid, mm) -> Hashtbl.replace h tid mm) l;
+      Some h
+
+(* A placement (re)stating that a task which finished mid-solve ran on
+   the machine it actually occupied at round begin is a no-op replay —
+   the solver simply had not seen the finish yet — not a stale
+   placement. Anything else about a vanished task (a different machine,
+   i.e. a would-be migration of a finished task) stays a discard. *)
+let is_noop_replay fin_prev task mm =
+  match fin_prev with
+  | None -> false
+  | Some h -> Hashtbl.find_opt h task = Some mm
 
 (* Commit the feasible fraction of a deadline-stopped round: start waiting
    tasks whose unit of flow reached a machine in the intermediate
@@ -360,9 +422,10 @@ let extract_from_snapshot t p graph =
    staleness (task or target invalidated mid-solve) and re-checked against
    the authoritative cluster state (machine live, slot free), so only
    valid placements commit. *)
-let commit_starts t ~now placements =
+let commit_starts ?fin_prev t ~now placements =
   let starts = ref [] in
   let discarded = ref [] in
+  let replayed = ref 0 in
   let discard tid reason counter =
     discarded := (tid, reason) :: !discarded;
     Telemetry.Metrics.incr m counter
@@ -372,6 +435,10 @@ let commit_starts t ~now placements =
       match machine with
       | Some mm ->
           if Hashtbl.mem t.assigned task then ()
+          else if is_noop_replay fin_prev task mm then begin
+            incr replayed;
+            Telemetry.Metrics.incr m m_replays
+          end
           else if Cluster.State.task_stale t.cluster task then
             discard task `Stale_task m_stale_task_discards
           else if Cluster.State.machine_stale t.cluster mm then
@@ -388,7 +455,7 @@ let commit_starts t ~now placements =
           else discard task `Capacity m_capacity_discards
       | None -> ())
     placements;
-  (List.rev !starts, List.rev !discarded)
+  (List.rev !starts, List.rev !discarded, !replayed)
 
 (* Diff the solver's placements against the current assignment and apply
    them. Stale placements — tasks finished or preempted mid-solve, or
@@ -396,10 +463,11 @@ let commit_starts t ~now placements =
    classification, before any state is mutated; every actual place is
    then re-checked against the authoritative cluster state, so a slot
    that vanished under an absorbed event can never be double-booked. *)
-let commit_diff t ~now placements =
+let commit_diff ?fin_prev t ~now placements =
   let starts = ref [] and migrations = ref [] and preempts = ref [] in
   let unscheduled = ref 0 in
   let discarded = ref [] in
+  let replayed = ref 0 in
   let discard tid reason counter =
     discarded := (tid, reason) :: !discarded;
     Telemetry.Metrics.incr m counter
@@ -408,7 +476,11 @@ let commit_diff t ~now placements =
     (fun { Placement.task; machine } ->
       match (Hashtbl.find_opt t.assigned task, machine) with
       | None, Some mm ->
-          if Cluster.State.task_stale t.cluster task then
+          if is_noop_replay fin_prev task mm then begin
+            incr replayed;
+            Telemetry.Metrics.incr m m_replays
+          end
+          else if Cluster.State.task_stale t.cluster task then
             discard task `Stale_task m_stale_task_discards
           else if Cluster.State.machine_stale t.cluster mm then
             discard task `Stale_machine m_stale_machine_discards
@@ -470,7 +542,8 @@ let commit_diff t ~now placements =
     !placed_migrations,
     List.rev !preempts,
     !unscheduled,
-    List.rev !discarded )
+    List.rev !discarded,
+    !replayed )
 
 (* Per-round delta of the graph's cumulative change summary. Clamped at
    zero: adopting a different graph object can lower the totals. *)
@@ -522,6 +595,7 @@ let begin_round ?stop t ~now =
       p_changes = Flowgraph.Graph.peek_changes (FN.graph t.net);
       p_mid_added = [];
       p_mid_finished = [];
+      p_mid_fin_prev = [];
       p_mid_failed = [];
       p_ck0 = ck0;
       p_ck1 = ck1;
@@ -600,6 +674,12 @@ let commit_round t p ~now =
     result.Mcmf.Race.stats.Mcmf.Solver_intf.runtime
     +. (if retried then first.Mcmf.Race.stats.Mcmf.Solver_intf.runtime else 0.)
   in
+  (* Split solve attribution: winner's algorithm runtime vs everything
+     else the phase spent (capped losers, dispatch copies, join). *)
+  let win_ns = Telemetry.Clock.ns_of_s algorithm_runtime in
+  Telemetry.Metrics.observe m m_solve_win_ns win_ns;
+  Telemetry.Metrics.observe m m_solve_wait_ns (max 0 (solve_ns - win_ns));
+  let fin_prev = fin_prev_table p in
   let base =
     {
       winner = result.Mcmf.Race.winner;
@@ -613,6 +693,7 @@ let commit_round t p ~now =
       preempted = [];
       unscheduled = 0;
       discarded = [];
+      replayed = 0;
       phase_ns = [];
     }
   in
@@ -639,7 +720,7 @@ let commit_round t p ~now =
          interleaved, since the pseudoflow's node ids then describe the
          begin-of-round network, not the current one. *)
       Telemetry.Metrics.incr m m_rounds_partial;
-      let started, discarded, ext_end =
+      let started, discarded, replayed, ext_end =
         match result.Mcmf.Race.partial with
         | Some pg ->
             let placements =
@@ -647,13 +728,14 @@ let commit_round t p ~now =
               else extract_partial_live t pg
             in
             let ext_end = Telemetry.Clock.now_ns () in
-            let started, discarded = commit_starts t ~now placements in
+            let started, discarded, replayed = commit_starts ?fin_prev t ~now placements in
             (* The pseudoflow has been consumed; let the next round reuse
                its storage. *)
             Mcmf.Race.recycle t.race pg;
-            (started, discarded, ext_end)
-        | None -> ([], [], ck2)
+            (started, discarded, replayed, ext_end)
+        | None -> ([], [], 0, ck2)
       in
+      List.iter (fun (tid, _) -> Hashtbl.replace t.retry tid ()) discarded;
       Log.debug (fun m ->
           m "round@%.3f degraded to partial: %d best-effort starts, %d waiting" now
             (List.length started)
@@ -666,7 +748,7 @@ let commit_round t p ~now =
       Telemetry.Metrics.observe m m_apply_ns (ck3 - ext_end);
       close_round
         ~tail:[ ("extract", ext_end - ck2); ("apply", ck3 - ext_end) ]
-        { base with degraded = `Partial; started; unscheduled; discarded }
+        { base with degraded = `Partial; started; unscheduled; discarded; replayed }
   | Mcmf.Solver_intf.Optimal when interleaved ->
       (* Reconcile: the canonical graph absorbed events while the solve
          was in flight, so the solved snapshot cannot be adopted — doing
@@ -680,9 +762,10 @@ let commit_round t p ~now =
       let ck4 = Telemetry.Clock.now_ns () in
       Telemetry.Trace.span tr ~phase:t_extract ~t0:ck2 ~t1:ck4;
       Telemetry.Metrics.observe m m_extract_ns (ck4 - ck2);
-      let started, migrated, preempted, unscheduled, discarded =
-        commit_diff t ~now placements
+      let started, migrated, preempted, unscheduled, discarded, replayed =
+        commit_diff ?fin_prev t ~now placements
       in
+      List.iter (fun (tid, _) -> Hashtbl.replace t.retry tid ()) discarded;
       Log.debug (fun m ->
           m
             "round@%.3f reconciled: %d started, %d migrated, %d preempted, %d \
@@ -694,7 +777,7 @@ let commit_round t p ~now =
       Telemetry.Metrics.observe m m_apply_ns (ck5 - ck4);
       close_round
         ~tail:[ ("extract", ck4 - ck2); ("apply", ck5 - ck4) ]
-        { base with started; migrated; preempted; unscheduled; discarded }
+        { base with started; migrated; preempted; unscheduled; discarded; replayed }
   | Mcmf.Solver_intf.Optimal ->
       let replaced = FN.graph t.net in
       FN.set_graph t.net result.Mcmf.Race.graph;
@@ -715,7 +798,30 @@ let commit_round t p ~now =
       let ck3 = Telemetry.Clock.now_ns () in
       Telemetry.Trace.span tr ~phase:t_adopt ~t0:ck2 ~t1:ck3;
       Telemetry.Metrics.observe m m_adopt_ns (ck3 - ck2);
-      let placements = Placement.extract t.net in
+      (* Delta extraction: sync the stored decomposition to the adopted
+         flow and get back only the tasks whose path was rebuilt (the
+         first adopted round reports everything). Tasks whose earlier
+         delta commit was discarded re-enter via the retry set — their
+         flow may not move again, so the decomposition's stored
+         assignment is re-stated until the cluster accepts or the solver
+         re-routes them. *)
+      let changes = Placement.extract_delta t.ws t.net in
+      let changes =
+        if Hashtbl.length t.retry = 0 then changes
+        else
+          Hashtbl.fold
+            (fun tid () acc ->
+              if List.exists (fun (tid', _) -> tid' = tid) acc then acc
+              else
+                match Placement.delta_lookup t.ws tid with
+                | Some mo -> (tid, mo) :: acc
+                | None -> acc)
+            t.retry changes
+      in
+      Hashtbl.reset t.retry;
+      let placements =
+        List.rev_map (fun (task, machine) -> { Placement.task; machine }) changes
+      in
       let ck4 = Telemetry.Clock.now_ns () in
       Telemetry.Trace.span tr ~phase:t_extract ~t0:ck3 ~t1:ck4;
       Telemetry.Metrics.observe m m_extract_ns (ck4 - ck3);
@@ -725,9 +831,14 @@ let commit_round t p ~now =
       let ck5 = Telemetry.Clock.now_ns () in
       Telemetry.Trace.span tr ~phase:t_prepare ~t0:ck4 ~t1:ck5;
       Telemetry.Metrics.observe m m_prepare_ns (ck5 - ck4);
-      let started, migrated, preempted, unscheduled, discarded =
+      let started, migrated, preempted, _unscheduled, discarded, replayed =
         commit_diff t ~now placements
       in
+      List.iter (fun (tid, _) -> Hashtbl.replace t.retry tid ()) discarded;
+      (* The delta change list omits tasks whose assignment did not move,
+         so the (None, None) count commit_diff derives from it undercounts;
+         the authoritative number is the cluster's post-commit wait queue. *)
+      let unscheduled = Cluster.State.waiting_count t.cluster in
       Log.debug (fun m ->
           m "round@%.3f: %s won in %.4fs; %d started, %d migrated, %d preempted, %d waiting"
             now
@@ -755,6 +866,7 @@ let commit_round t p ~now =
           preempted;
           unscheduled;
           discarded;
+          replayed;
         }
 
 (* A synchronous round is exactly the pipelined pair with nothing in
@@ -764,3 +876,10 @@ let commit_round t p ~now =
 let schedule ?stop t ~now = commit_round t (begin_round ?stop t ~now) ~now
 
 let assignments t = t.assigned
+
+(* Debug/oracle access to the delta decomposition: what the workspace
+   believes the last adopted flow assigned, or [None] before the first
+   adopted round (or after a failed sync). *)
+let decomposition t =
+  if Placement.delta_synced t.ws then Some (Placement.delta_assignments t.ws)
+  else None

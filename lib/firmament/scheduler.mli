@@ -101,6 +101,13 @@ type round = {
           machine was invalidated by an event absorbed mid-solve) or
           capacity-rejected. Always [[]] on a synchronous {!schedule}
           round with no concurrent events. *)
+  replayed : int;
+      (** solver placements recognized as no-op replays at commit: the
+          task finished mid-solve and the solver (re)confirmed the very
+          machine it was running on when the solve began. Nothing was
+          invalidated — the solution is simply describing a task that
+          completed meanwhile — so these are counted here instead of
+          being misreported as [`Stale_task] discards. *)
   phase_ns : (string * int) list;
       (** where the round's wall time went, as [(phase, nanoseconds)] in
           execution order. Phases are measured with contiguous monotonic
@@ -187,6 +194,15 @@ val commit_round : t -> pending -> now:float -> round
 (** Current task → machine assignment (running tasks only). *)
 val assignments :
   t -> (Cluster.Types.task_id, Cluster.Types.machine_id) Hashtbl.t
+
+(** [decomposition t] is the incremental extractor's current view of the
+    solved flow — the full per-task decomposition stored in the delta
+    workspace ({!Placement.delta_assignments}) — or [None] when the last
+    round did not leave the workspace synced (degraded rounds, modes that
+    bypass delta extraction). A debugging/oracle hook: the fuzz harness
+    compares it against a from-scratch {!Placement.extract} of the
+    certified solution. *)
+val decomposition : t -> Placement.assignment list option
 
 (** {1 Debugging}
 

@@ -27,6 +27,12 @@ type t = {
   prev_active : int Vec.t;
   active_flag : bool Vec.t;
   arc_live : bool Vec.t;
+  (* Process-unique stamp assigned at [add_arc] (stored at the even slot
+     of the pair). Survives [copy]/[copy_into], changes whenever a freed
+     slot is recycled for a new arc — the delta placement extractor uses
+     it to tell "same arc, changed flow" from "different arc reusing the
+     id". *)
+  arc_gen : int Vec.t;
   free_pairs : int Vec.t; (* even base index of each free pair *)
   mutable live_arcs : int; (* forward arcs only *)
   (* change tracking *)
@@ -75,6 +81,7 @@ let create ?(node_hint = 16) ?(arc_hint = 64) () =
     prev_active = Vec.create ~capacity:r ~dummy:(-1) ();
     active_flag = Vec.create ~capacity:r ~dummy:false ();
     arc_live = Vec.create ~capacity:r ~dummy:false ();
+    arc_gen = Vec.create ~capacity:r ~dummy:0 ();
     free_pairs = Vec.create ~dummy:(-1) ();
     live_arcs = 0;
     ch_structural = 0;
@@ -143,6 +150,14 @@ let capacity g a =
   if not (is_forward a) then invalid_arg "Graph.capacity: reverse arc";
   Vec.get g.rescap a + Vec.get g.rescap (rev a)
 
+(* Generation stamp of the (live or dead) pair occupying slot [a]; 0 if
+   the slot was never used. Deliberately unchecked on liveness so dirty
+   scans can read dead slots. *)
+let arc_generation g a =
+  let a = a land lnot 1 in
+  if a < 0 || a >= arc_bound g then invalid_arg "Graph.arc_generation: out of bounds";
+  Vec.get g.arc_gen a
+
 let supply g n = Vec.get g.supply n
 
 let set_supply g n b =
@@ -202,6 +217,13 @@ let sync_active g a =
   let from = uget g.head (rev a) in
   if uget g.rescap a > 0 then activate g ~from a else deactivate g ~from a
 
+(* Process-wide arc-generation counter: every [add_arc] in any graph gets
+   a distinct stamp, so a stamp equality across graph copies identifies
+   "the same arc" even after a slot was freed and recycled. Atomic only
+   for safety — arcs are added from the coordinating thread, never from
+   solver domains. *)
+let gen_counter = Atomic.make 1
+
 let add_arc g ~src:s ~dst:d ~cost:c ~cap =
   if cap < 0 then invalid_arg "Graph.add_arc: negative capacity";
   check_node g s "add_arc";
@@ -209,6 +231,7 @@ let add_arc g ~src:s ~dst:d ~cost:c ~cap =
   g.ch_structural <- g.ch_structural + 1;
   if abs c > g.ch_max_cost then g.ch_max_cost <- abs c;
   g.live_arcs <- g.live_arcs + 1;
+  let gen = Atomic.fetch_and_add gen_counter 1 in
   let a =
     if Vec.is_empty g.free_pairs then begin
       let a = Vec.push g.head d in
@@ -229,6 +252,8 @@ let add_arc g ~src:s ~dst:d ~cost:c ~cap =
       ignore (Vec.push g.active_flag false);
       ignore (Vec.push g.arc_live true);
       ignore (Vec.push g.arc_live true);
+      ignore (Vec.push g.arc_gen gen);
+      ignore (Vec.push g.arc_gen gen);
       a
     end
     else begin
@@ -241,6 +266,8 @@ let add_arc g ~src:s ~dst:d ~cost:c ~cap =
       Vec.set g.rescap (a + 1) 0;
       Vec.set g.arc_live a true;
       Vec.set g.arc_live (a + 1) true;
+      Vec.set g.arc_gen a gen;
+      Vec.set g.arc_gen (a + 1) gen;
       a
     end
   in
@@ -409,6 +436,7 @@ let copy g =
     prev_active = Vec.copy g.prev_active;
     active_flag = Vec.copy g.active_flag;
     arc_live = Vec.copy g.arc_live;
+    arc_gen = Vec.copy g.arc_gen;
     free_pairs = Vec.copy g.free_pairs;
     live_arcs = g.live_arcs;
     ch_structural = g.ch_structural;
@@ -437,6 +465,7 @@ let copy_into dst src =
     Vec.copy_into dst.prev_active src.prev_active;
     Vec.copy_into dst.active_flag src.active_flag;
     Vec.copy_into dst.arc_live src.arc_live;
+    Vec.copy_into dst.arc_gen src.arc_gen;
     Vec.copy_into dst.free_pairs src.free_pairs;
     dst.live_arcs <- src.live_arcs;
     dst.ch_structural <- src.ch_structural;

@@ -108,6 +108,15 @@ val flow : t -> arc -> int
 (** [capacity g a] is the upper bound of forward arc [a]. *)
 val capacity : t -> arc -> int
 
+(** [arc_generation g a] is the process-unique stamp assigned to the arc
+    pair occupying slot [a] when it was last created by {!add_arc} (0 if
+    the slot was never used). Stamps survive {!copy}/{!copy_into} and
+    change when a freed pair is recycled, so equal stamps across graph
+    copies identify "the same arc" — the dirty-tracking primitive behind
+    delta placement extraction. Works on dead slots (no liveness check);
+    only bounds are validated. *)
+val arc_generation : t -> arc -> int
+
 (** [reduced_cost g a] is [cost a - pi (src a) + pi (dst a)]. *)
 val reduced_cost : t -> arc -> int
 

@@ -106,6 +106,70 @@ let oracle_check st g =
         "oracle found the committed (supposedly optimal) instance infeasible"
   | Mcmf.Solver_intf.Stopped -> ()
 
+(* Delta-extraction oracle: the scheduler's incremental decomposition
+   (synced arc-by-arc across rounds) must describe the same flow as a
+   from-scratch extraction of the certified solution. Attribution between
+   tasks merging at an aggregator is ambiguous — either task may get the
+   machine-bound unit — so the comparison is on the invariants every
+   decomposition of one flow shares: the tracked task set, the per-machine
+   task counts, and the number left unscheduled. The certified copy is
+   mounted into the live network for the walk (same node ids, the tables
+   stay valid) and the canonical graph is always restored. *)
+let decomposition_check st cg =
+  match S.decomposition st.sched with
+  | None -> ()
+  | Some delta -> (
+      let net = S.network st.sched in
+      let live = FN.graph net in
+      match
+        Fun.protect
+          ~finally:(fun () -> FN.set_graph net live)
+          (fun () ->
+            FN.set_graph net cg;
+            try Ok (Firmament.Placement.extract net) with Failure msg -> Error msg)
+      with
+      | Error msg ->
+          record st "delta-extraction"
+            (Printf.sprintf "full extraction of the certified flow failed: %s" msg)
+      | Ok full ->
+          let summarize asgs =
+            let machines = Hashtbl.create 16 in
+            let unsched = ref 0 in
+            let tids = ref [] in
+            List.iter
+              (fun { Firmament.Placement.task; machine } ->
+                tids := task :: !tids;
+                match machine with
+                | Some mm ->
+                    Hashtbl.replace machines mm
+                      (1 + Option.value ~default:0 (Hashtbl.find_opt machines mm))
+                | None -> incr unsched)
+              asgs;
+            let counts =
+              List.sort compare
+                (Hashtbl.fold (fun mm n acc -> (mm, n) :: acc) machines [])
+            in
+            (List.sort compare !tids, counts, !unsched)
+          in
+          let d_tids, d_counts, d_unsched = summarize delta in
+          let f_tids, f_counts, f_unsched = summarize full in
+          if d_tids <> f_tids then
+            record st "delta-extraction"
+              (Printf.sprintf
+                 "delta decomposition tracks %d tasks, full extraction %d, or the \
+                  id sets differ"
+                 (List.length d_tids) (List.length f_tids))
+          else if d_counts <> f_counts || d_unsched <> f_unsched then
+            record st "delta-extraction"
+              (Printf.sprintf
+                 "delta decomposition disagrees with full extraction: per-machine \
+                  counts %s vs %s, unscheduled %d vs %d"
+                 (String.concat ","
+                    (List.map (fun (mm, n) -> Printf.sprintf "%d:%d" mm n) d_counts))
+                 (String.concat ","
+                    (List.map (fun (mm, n) -> Printf.sprintf "%d:%d" mm n) f_counts))
+                 d_unsched f_unsched))
+
 let known_phases =
   [ "refresh"; "solve"; "adopt"; "extract"; "prepare"; "apply" ]
 
@@ -168,7 +232,10 @@ let check_round st (r : S.round) _post ~certified =
       else if not (Flowgraph.Validate.is_optimal cg) then
         record st "optimality"
           "certified graph has a negative-cost residual cycle (not optimal)"
-      else oracle_check st cg
+      else begin
+        oracle_check st cg;
+        decomposition_check st cg
+      end
   | (`Partial | `Failed), None -> ())
 
 (* {1 Event application} *)

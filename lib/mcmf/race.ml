@@ -55,7 +55,12 @@ type t = {
   (* The scratch pool and the solver workspaces are single-occupancy, so
      at most one submitted solve may be outstanding at a time. *)
   mutable in_flight : bool;
+  (* Last round's winner, used by [Fastest_sequential] to run the likely
+     winner first and budget the second solver by the first's runtime. *)
+  mutable seq_first : winner;
 }
+
+and winner = Relaxation | Cost_scaling
 
 let create ?(alpha = 9) ?(price_refine = true) ~mode () =
   {
@@ -67,6 +72,7 @@ let create ?(alpha = 9) ?(price_refine = true) ~mode () =
     scratch_a = None;
     scratch_b = None;
     in_flight = false;
+    seq_first = Cost_scaling;
   }
 
 let mode t = t.mode
@@ -98,8 +104,6 @@ let give_back t s =
   | Some _, Some _ -> ()
 
 let recycle = give_back
-
-type winner = Relaxation | Cost_scaling
 
 type result = {
   graph : Flowgraph.Graph.t;
@@ -185,6 +189,18 @@ let two_solver_result ~input ~g_rx ~g_cs rx cs =
       ~cost_scaling_stats:(Some cs) rx
   end
 
+(* Sequential "race": run last round's winner first, then give the other
+   solver a time budget equal to the first's runtime (on top of the
+   caller's stop). The cap is winner-preserving: a capped second solver
+   either finishes Optimal faster than the first — and would have won
+   uncapped too — or ends [Stopped]/slower and loses exactly as an
+   uncapped slower run would ({!pick_cost_scaling} ranks Optimal above
+   Stopped, ties by runtime). What the cap removes is the loser's
+   unbounded tail: the round costs at most ~2× the winner instead of
+   winner + loser. When the first solver does not prove optimality the
+   second runs uncapped (it may still find an optimum, or a sound
+   infeasibility proof). Capped losers land in the margin histogram's
+   low buckets — the residual gap the solve_wait phase exposes. *)
 let solve_sequential ?stop ~scratch t g =
   let g_rx = take t g in
   let g_cs = take t g in
@@ -192,13 +208,36 @@ let solve_sequential ?stop ~scratch t g =
     G.reset_flow g_rx;
     G.reset_flow g_cs
   end;
-  let t0 = Telemetry.Trace.span_begin () in
-  let rx = Relaxation.solve ?stop ~workspace:t.rx_ws g_rx in
-  Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
-  let t0 = Telemetry.Trace.span_begin () in
-  let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state g_cs in
-  Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+  let run_rx ?stop () =
+    let t0 = Telemetry.Trace.span_begin () in
+    let rx = Relaxation.solve ?stop ~workspace:t.rx_ws g_rx in
+    Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
+    rx
+  in
+  let run_cs ?stop () =
+    let t0 = Telemetry.Trace.span_begin () in
+    let cs = Cost_scaling.solve ?stop ~incremental:(not scratch) t.cs_state g_cs in
+    Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+    cs
+  in
+  let budget first =
+    match first.Solver_intf.outcome with
+    | Solver_intf.Optimal ->
+        let cap = Solver_intf.deadline_stop first.Solver_intf.runtime in
+        Some (match stop with None -> cap | Some s -> Solver_intf.either_stop s cap)
+    | Solver_intf.Infeasible | Solver_intf.Stopped -> stop
+  in
+  let rx, cs =
+    match t.seq_first with
+    | Relaxation ->
+        let rx = run_rx ?stop () in
+        (rx, run_cs ?stop:(budget rx) ())
+    | Cost_scaling ->
+        let cs = run_cs ?stop () in
+        (run_rx ?stop:(budget cs) (), cs)
+  in
   let r = two_solver_result ~input:g ~g_rx ~g_cs rx cs in
+  t.seq_first <- r.winner;
   reclaim t r [ g_rx; g_cs ];
   r
 

@@ -27,7 +27,11 @@ type mode =
   | Race_parallel  (** two domains, first optimal result wins; the loser is cancelled *)
   | Fastest_sequential
       (** run both sequentially, report the faster — deterministic
-          simulation of the race for single-core benchmarks *)
+          simulation of the race for single-core benchmarks. Runs last
+          round's winner first and budgets the other solver by the
+          winner's runtime (winner-preserving — see the implementation
+          note), so a round costs at most ~2× the winner instead of
+          winner plus the loser's unbounded tail *)
   | Relaxation_only
   | Incremental_cost_scaling_only
   | Cost_scaling_scratch_only  (** Quincy's configuration (cs2-style) *)

@@ -845,8 +845,11 @@ let test_pipeline_stale_reconciliation () =
     "fresh placements commit" [ (10, 0); (11, 1) ] r2.Firmament.Scheduler.started;
   Alcotest.(check (list (pair int discard_reason_t)))
     "exactly the stale placements discarded"
-    [ (0, `Stale_task); (2, `Stale_task); (12, `Stale_machine) ]
+    [ (2, `Stale_task); (12, `Stale_machine) ]
     r2.Firmament.Scheduler.discarded;
+  (* Task 0 finished mid-solve and the snapshot re-confirms the machine
+     it was running on: a no-op replay, not a stale discard. *)
+  checki "finished task's placement is a replay" 1 r2.Firmament.Scheduler.replayed;
   checki "no bogus preemptions" 0 (List.length r2.Firmament.Scheduler.preempted);
   checki "no bogus migrations" 0 (List.length r2.Firmament.Scheduler.migrated);
   checkb "network invariants hold" true
@@ -1065,6 +1068,172 @@ let prop_extract_snapshot_matches_flow_audit =
            && placed a = placed (Firmament.Placement.extract net)
          end)
 
+(* {1 Delta extraction under churn} *)
+
+(* The incremental decomposition the scheduler maintains across rounds
+   must describe the same flow as a from-scratch extraction of each
+   round's certified solution, whatever mutation burst preceded the
+   round. Attribution between tasks merging at an aggregator is
+   ambiguous, so equality is on the decomposition invariants: tracked
+   task set, per-machine counts, unscheduled count. *)
+let summarize_assignments asgs =
+  let machines = Hashtbl.create 16 in
+  let unsched = ref 0 in
+  let tids = ref [] in
+  List.iter
+    (fun { Firmament.Placement.task; machine } ->
+      tids := task :: !tids;
+      match machine with
+      | Some mm ->
+          Hashtbl.replace machines mm
+            (1 + Option.value ~default:0 (Hashtbl.find_opt machines mm))
+      | None -> incr unsched)
+    asgs;
+  ( List.sort compare !tids,
+    List.sort compare (Hashtbl.fold (fun mm n acc -> (mm, n) :: acc) machines []),
+    !unsched )
+
+let prop_delta_extraction_matches_full =
+  QCheck.Test.make ~name:"delta extraction = full extraction after churn bursts"
+    ~count:30
+    QCheck.(pair (int_bound 100_000) (int_bound 4))
+    (fun (seed, mode_idx) ->
+      let mode = List.nth all_race_modes mode_idx in
+      let rng = Random.State.make [| 0xde17a; seed; mode_idx |] in
+      let machines = 5 and slots = 2 in
+      let cluster = mk_cluster ~machines ~slots in
+      let sched =
+        Firmament.Scheduler.create
+          ~config:{ Firmament.Scheduler.default_config with mode }
+          cluster
+          ~policy:(fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st)
+      in
+      let err = ref None in
+      Firmament.Scheduler.set_round_observer sched
+        (Some
+           (fun (r : Firmament.Scheduler.round) _post ~certified ->
+             match certified with
+             | None -> ()
+             | Some cg -> (
+                 ignore r;
+                 match Firmament.Scheduler.decomposition sched with
+                 | None ->
+                     if !err = None then
+                       err := Some "adopted round left the delta workspace unsynced"
+                 | Some delta ->
+                     let net = Firmament.Scheduler.network sched in
+                     let live = FN.graph net in
+                     let full =
+                       Fun.protect
+                         ~finally:(fun () -> FN.set_graph net live)
+                         (fun () ->
+                           FN.set_graph net cg;
+                           Firmament.Placement.extract net)
+                     in
+                     if
+                       summarize_assignments delta <> summarize_assignments full
+                       && !err = None
+                     then err := Some "delta and full extraction disagree")));
+      let next_jid = ref 0 in
+      let now = ref 0. in
+      let running () =
+        let acc = ref [] in
+        Cluster.State.iter_tasks cluster (fun t ->
+            if W.is_running t then acc := t.W.tid :: !acc);
+        List.sort compare !acc
+      in
+      let random_event () =
+        match Random.State.int rng 6 with
+        | 0 | 1 ->
+            let jid = !next_jid in
+            incr next_jid;
+            let n = 1 + Random.State.int rng 3 in
+            Firmament.Scheduler.submit_job sched
+              (job_of_tasks ~jid ~submit:!now
+                 (List.init n (fun i ->
+                      quincy_task ~tid:((jid * 100) + i) ~job:jid ~submit:!now
+                        ~duration:1000. ~input_mb:90.
+                        ~input_machines:[ Random.State.int rng machines ])))
+        | 2 -> (
+            match running () with
+            | [] -> ()
+            | l ->
+                Firmament.Scheduler.finish_task sched
+                  (List.nth l (Random.State.int rng (List.length l)))
+                  ~now:!now)
+        | 3 -> (
+            match running () with
+            | [] -> ()
+            | l ->
+                Firmament.Scheduler.preempt_task sched
+                  (List.nth l (Random.State.int rng (List.length l))))
+        | 4 ->
+            let m = Random.State.int rng machines in
+            if Cluster.State.machine_is_live cluster m then
+              Firmament.Scheduler.fail_machine sched m
+        | _ ->
+            let m = Random.State.int rng machines in
+            if not (Cluster.State.machine_is_live cluster m) then
+              Firmament.Scheduler.restore_machine sched m
+      in
+      (* Always at least one task so the first round has work. *)
+      Firmament.Scheduler.submit_job sched
+        (job_of_tasks ~jid:9999 ~submit:0.
+           [ quincy_task ~tid:999900 ~job:9999 ~submit:0. ~duration:1000.
+               ~input_mb:90. ~input_machines:[ 0 ] ]);
+      for _round = 0 to 7 do
+        let burst = Random.State.int rng 4 in
+        for _i = 1 to burst do
+          random_event ()
+        done;
+        ignore (Firmament.Scheduler.schedule sched ~now:!now);
+        now := !now +. 1.
+      done;
+      match !err with
+      | None -> true
+      | Some msg -> QCheck.Test.fail_report msg)
+
+(* The race orchestrator's solve phase used to blame the losing solver's
+   tail on the round ([Fastest_sequential] ran the loser to completion);
+   the split histograms make the winner's latency and the orchestration
+   wait separately observable, and the loser is budget-capped so the
+   wait can no longer exceed ~1x the winner. *)
+let test_solve_win_wait_split () =
+  let m = Telemetry.Metrics.global () in
+  let id name =
+    match Telemetry.Metrics.find m name with
+    | Some id -> id
+    | None -> Alcotest.failf "histogram %s not registered" name
+  in
+  let win = id "sched_phase_solve_win_ns" in
+  let wait = id "sched_phase_solve_wait_ns" in
+  let c0_win = Telemetry.Metrics.hist_count m win in
+  let c0_wait = Telemetry.Metrics.hist_count m wait in
+  let cluster = mk_cluster ~machines:4 ~slots:2 in
+  let sched =
+    Firmament.Scheduler.create
+      ~config:
+        { Firmament.Scheduler.default_config with mode = Mcmf.Race.Fastest_sequential }
+      cluster
+      ~policy:(fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st)
+  in
+  Firmament.Scheduler.submit_job sched (simple_job ~jid:0 ~n:6 ~submit:0. ~duration:50.);
+  let rounds = 3 in
+  for i = 1 to rounds do
+    ignore (Firmament.Scheduler.schedule sched ~now:(float_of_int i))
+  done;
+  checki "every round observes a win split" rounds
+    (Telemetry.Metrics.hist_count m win - c0_win);
+  checki "every round observes a wait split" rounds
+    (Telemetry.Metrics.hist_count m wait - c0_wait);
+  (* Both solvers ran each round (the loser budget-capped, not skipped):
+     the per-round loser stats stay observable. *)
+  let r = Firmament.Scheduler.schedule sched ~now:10. in
+  checkb "relaxation stats present" true
+    (r.Firmament.Scheduler.relaxation_stats <> None);
+  checkb "cost scaling stats present" true
+    (r.Firmament.Scheduler.cost_scaling_stats <> None)
+
 let qcheck = List.map QCheck_alcotest.to_alcotest
 
 let () =
@@ -1153,4 +1322,8 @@ let () =
           Alcotest.test_case "refresh quantizes wait-cost churn" `Quick
             test_quincy_refresh_wait_cost_bucketing;
         ] );
+      ( "delta-extraction",
+        Alcotest.test_case "solve win/wait sub-phase split" `Quick
+          test_solve_win_wait_split
+        :: qcheck [ prop_delta_extraction_matches_full ] );
     ]
