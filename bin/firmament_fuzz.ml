@@ -70,12 +70,13 @@ let report_failure seed (f : Fuzz.Harness.failure) ~events ~shrunk ~path =
   Printf.printf "seed %d: shrunk %d -> %d events, artifact %s\n%!" seed events
     (List.length shrunk) path
 
-let fuzz seeds events machines slots inject_eps mode artifact_dir =
+let fuzz seeds events machines slots inject_eps force_incremental mode artifact_dir =
   let cfg =
     {
       Fuzz.Harness.machines;
       slots;
       inject_eps;
+      force_incremental;
       modes =
         (match mode with None -> Fuzz.Harness.all_modes | Some m -> [ m ]);
     }
@@ -140,10 +141,12 @@ let replay path =
       Printf.printf "did not reproduce: trace runs clean\n";
       2
 
-let run replay_file seeds events machines slots inject_eps mode artifact_dir =
+let run replay_file seeds events machines slots inject_eps force_incremental mode
+    artifact_dir =
   match replay_file with
   | Some path -> replay path
-  | None -> fuzz seeds events machines slots inject_eps mode artifact_dir
+  | None ->
+      fuzz seeds events machines slots inject_eps force_incremental mode artifact_dir
 
 let cmd =
   let replay_file =
@@ -186,6 +189,15 @@ let cmd =
                 optimality. The harness must catch this ($(b,1) = off; used \
                 to validate the harness itself).")
   in
+  let force_incremental =
+    Arg.(
+      value & flag
+      & info [ "force-incremental" ]
+          ~doc:"Lift the scheduler's incremental-repair budget so every \
+                round with a certified previous solution takes the \
+                O(changes) repair path; the oracle and validators then \
+                gate the repair kernel instead of the full race.")
+  in
   let mode =
     Arg.(
       value & opt mode_conv None
@@ -205,6 +217,6 @@ let cmd =
     (Cmd.info "firmament_fuzz" ~doc)
     Term.(
       const run $ replay_file $ seeds $ events $ machines $ slots $ inject_eps
-      $ mode $ artifact_dir)
+      $ force_incremental $ mode $ artifact_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -36,7 +36,8 @@ let () =
   Printf.printf "solver: %s won in %.2f ms\n"
     (match round.Firmament.Scheduler.winner with
     | Mcmf.Race.Relaxation -> "relaxation"
-    | Mcmf.Race.Cost_scaling -> "incremental cost scaling")
+    | Mcmf.Race.Cost_scaling -> "incremental cost scaling"
+    | Mcmf.Race.Repair -> "incremental repair")
     (round.Firmament.Scheduler.algorithm_runtime *. 1000.);
   List.iter
     (fun (task, machine) -> Printf.printf "task %d -> machine %d\n" task machine)

@@ -145,17 +145,26 @@ let task_stale t tid =
 let machine_stale t m = t.machine_stale_at.(m) > t.round_mark
 
 let waiting_tasks t =
-  (* Compact the order list (drop ids no longer waiting), oldest first. *)
+  (* Compact the order list (drop ids no longer waiting, dedup re-entries
+     keeping the oldest position), oldest first. The compacted order is
+     stored back, so the walk is O(currently waiting + appended since the
+     last call) — without the write-back the list is an append-only
+     history of every task that ever waited, and a per-round caller (the
+     policy refresh) pays an ever-growing O(lifetime submissions) walk. *)
   let ordered = List.rev t.waiting_order in
   let seen = Hashtbl.create (Hashtbl.length t.waiting) in
-  List.filter_map
-    (fun tid ->
-      if Hashtbl.mem t.waiting tid && not (Hashtbl.mem seen tid) then begin
-        Hashtbl.add seen tid ();
-        Some (task t tid)
-      end
-      else None)
-    ordered
+  let live =
+    List.filter
+      (fun tid ->
+        if Hashtbl.mem t.waiting tid && not (Hashtbl.mem seen tid) then begin
+          Hashtbl.add seen tid ();
+          true
+        end
+        else false)
+      ordered
+  in
+  t.waiting_order <- List.rev live;
+  List.map (fun tid -> task t tid) live
 
 let waiting_count t = Hashtbl.length t.waiting
 

@@ -61,18 +61,24 @@ type workspace = {
   mutable budget_epoch : int;
 }
 
-let create_workspace () =
+(* [node_hint]/[arc_hint] pre-size the slot- and arc-indexed arrays from
+   the topology (roughly one tracked task per task node, one forward-arc
+   slot per arc pair), so the first adopted round syncs steady-state
+   instead of growth-doubling through the whole cluster. *)
+let create_workspace ?(node_hint = 0) ?(arc_hint = 0) () =
+  let slot_cap = max 64 node_hint in
+  let arc_cap = max 0 ((arc_hint + 1) / 2) in
   {
-    used = [||];
-    gen = [||];
-    flow_dirty = [||];
-    gen_dirty = [||];
+    used = Array.make arc_cap 0;
+    gen = Array.make arc_cap 0;
+    flow_dirty = Array.make arc_cap 0;
+    gen_dirty = Array.make arc_cap 0;
     epoch = 0;
     slots = Int_table.create ();
-    s_tid = Array.make 64 (-1);
-    s_mach = Array.make 64 (-1);
-    s_len = Array.make 64 0;
-    s_path = Array.make (64 * max_hops) (-1);
+    s_tid = Array.make slot_cap (-1);
+    s_mach = Array.make slot_cap (-1);
+    s_len = Array.make slot_cap 0;
+    s_path = Array.make (slot_cap * max_hops) (-1);
     s_top = 0;
     s_free = Array.make 64 0;
     s_free_top = 0;
@@ -80,8 +86,8 @@ let create_workspace () =
     synced = false;
     pend = Array.make 128 0;
     pend_top = 0;
-    budget = [||];
-    budget_mark = [||];
+    budget = Array.make arc_cap 0;
+    budget_mark = Array.make arc_cap 0;
     budget_epoch = 0;
   }
 

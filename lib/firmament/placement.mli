@@ -31,7 +31,10 @@ type assignment = {
     delta state). Not thread-safe. *)
 type workspace
 
-val create_workspace : unit -> workspace
+(** [node_hint]/[arc_hint] (the {!Flow_network.create} topology hints)
+    pre-size the tracked-task and per-arc arrays so the first adopted
+    round builds the decomposition without growth doublings. *)
+val create_workspace : ?node_hint:int -> ?arc_hint:int -> unit -> workspace
 
 (** [extract ?workspace net] reads the current (feasible) flow in [net]
     and returns one assignment per task node, sorted by task id. Resets

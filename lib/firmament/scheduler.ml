@@ -152,6 +152,8 @@ type config = {
   price_refine : bool;
   drain_on_removal : bool;
   deadline : float option;
+  incremental : bool;
+  incremental_budget : int;
 }
 
 let default_config =
@@ -161,6 +163,8 @@ let default_config =
     price_refine = true;
     drain_on_removal = true;
     deadline = None;
+    incremental = true;
+    incremental_budget = 512;
   }
 
 type degraded = [ `None | `Partial | `Infeasible_retry | `Failed ]
@@ -262,7 +266,8 @@ let create ?(config = default_config) cluster ~policy =
   let machines = Cluster.Topology.machine_count topo in
   let slots = Cluster.Topology.total_slots topo in
   let node_hint = (2 * (machines + slots)) + 64 in
-  let net = FN.create ~node_hint ~arc_hint:(4 * node_hint) () in
+  let arc_hint = 4 * node_hint in
+  let net = FN.create ~node_hint ~arc_hint () in
   let p = policy ~drain:config.drain_on_removal net cluster in
   {
     config;
@@ -271,9 +276,9 @@ let create ?(config = default_config) cluster ~policy =
     policy = p;
     race =
       Mcmf.Race.create ~alpha:config.alpha ~price_refine:config.price_refine
-        ~mode:config.mode ();
+        ~incremental:config.incremental ~node_hint ~arc_hint ~mode:config.mode ();
     assigned = Hashtbl.create 1024;
-    ws = Placement.create_workspace ();
+    ws = Placement.create_workspace ~node_hint ~arc_hint ();
     retry = Hashtbl.create 16;
     last_changes = Flowgraph.Graph.peek_changes (FN.graph net);
     pending = None;
@@ -546,17 +551,24 @@ let commit_diff ?fin_prev t ~now placements =
     !replayed )
 
 (* Per-round delta of the graph's cumulative change summary. Clamped at
-   zero: adopting a different graph object can lower the totals. *)
+   zero: adopting a different graph object can lower the totals. Returns
+   the excess-creating part of the delta (structural + capacity + supply
+   changes — cost changes alone shift reduced costs but mint no excess),
+   the size heuristic for the incremental-repair path choice. *)
 let record_changes t =
   let open Flowgraph.Graph in
   let s = peek_changes (FN.graph t.net) in
   let prev = t.last_changes in
   let d a b = max 0 (a - b) in
-  Telemetry.Metrics.add m m_chg_structural (d s.structural prev.structural);
+  let structural = d s.structural prev.structural in
+  let capacity = d s.capacity_changes prev.capacity_changes in
+  let supply = d s.supply_changes prev.supply_changes in
+  Telemetry.Metrics.add m m_chg_structural structural;
   Telemetry.Metrics.add m m_chg_cost (d s.cost_changes prev.cost_changes);
-  Telemetry.Metrics.add m m_chg_capacity (d s.capacity_changes prev.capacity_changes);
-  Telemetry.Metrics.add m m_chg_supply (d s.supply_changes prev.supply_changes);
-  t.last_changes <- s
+  Telemetry.Metrics.add m m_chg_capacity capacity;
+  Telemetry.Metrics.add m m_chg_supply supply;
+  t.last_changes <- s;
+  structural + capacity + supply
 
 let begin_round ?stop t ~now =
   (match t.pending with
@@ -569,7 +581,7 @@ let begin_round ?stop t ~now =
   let ck1 = Telemetry.Clock.now_ns () in
   Telemetry.Trace.span tr ~phase:t_refresh ~t0:ck0 ~t1:ck1;
   Telemetry.Metrics.observe m m_refresh_ns (ck1 - ck0);
-  record_changes t;
+  let excess_delta = record_changes t in
   (* The round deadline covers the whole round, retry included: the stop
      predicate is armed here and shared by every solve of this round. *)
   let stop =
@@ -582,7 +594,18 @@ let begin_round ?stop t ~now =
      relative to the cluster state as of this instant, and any event that
      bumps the epoch past the stamp marks its task/machine stale. *)
   Cluster.State.stamp_round t.cluster;
-  let handle = Mcmf.Race.submit ~stop t.race (FN.graph t.net) in
+  (* Path choice: vouch for the O(changes) repair only when enabled and
+     the round's excess-creating change delta is small. The vouch is a
+     hint — the repair kernel still enforces the budget on the actual
+     excess-node and augmentation counts and falls back to the full race
+     on any doubt. Cost-only churn (policy refresh) is deliberately not
+     counted: it mints no excess, only shortest-path re-routes. *)
+  let delta_budget =
+    if t.config.incremental && excess_delta <= 4 * t.config.incremental_budget
+    then Some t.config.incremental_budget
+    else None
+  in
+  let handle = Mcmf.Race.submit ~stop ?delta_budget t.race (FN.graph t.net) in
   let ck2 = Telemetry.Clock.now_ns () in
   (* Dispatch half of the solve phase; the wait half is traced by
      [commit_round], and the two sum to the round's solve attribution. *)
@@ -844,7 +867,8 @@ let commit_round t p ~now =
             now
             (match result.Mcmf.Race.winner with
             | Mcmf.Race.Relaxation -> "relaxation"
-            | Mcmf.Race.Cost_scaling -> "cost scaling")
+            | Mcmf.Race.Cost_scaling -> "cost scaling"
+            | Mcmf.Race.Repair -> "incremental repair")
             base.algorithm_runtime (List.length started) (List.length migrated)
             (List.length preempted) unscheduled);
       let ck6 = Telemetry.Clock.now_ns () in

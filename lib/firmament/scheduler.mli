@@ -61,6 +61,19 @@ type config = {
           including the infeasibility retry; when it fires, the round
           degrades to [`Partial] instead of running long. [None] (the
           default) never stops a solve. *)
+  incremental : bool;
+      (** enable the O(changes) incremental-repair path (default [true]):
+          when the previous round's adopted solution is certified optimal
+          and this round's change set is small, the round is solved by
+          {!Mcmf.Incremental.repair} on the warm graph instead of running
+          the full solver race; any repair give-up falls back to the
+          configured [mode] untouched *)
+  incremental_budget : int;
+      (** repair budget (default 512): the per-round cap on excess nodes
+          and augmentations the repair may perform before giving up. The
+          repair path is only attempted when the round's
+          structural+capacity+supply change count is at most 4× this
+          (cost-only churn mints no excess and does not count) *)
 }
 
 val default_config : config

@@ -29,6 +29,10 @@ let config t =
     Harness.machines = t.machines;
     slots = t.slots;
     inject_eps = t.inject_eps;
+    (* Not serialized: replays run with the default repair budget (the
+       incremental path is on by default, so repair-found bugs still
+       reproduce on eligible rounds). *)
+    force_incremental = false;
     modes = [ t.mode ];
   }
 

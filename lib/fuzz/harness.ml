@@ -7,6 +7,7 @@ type config = {
   machines : int;
   slots : int;
   inject_eps : int;
+  force_incremental : bool;
   modes : Mcmf.Race.mode list;
 }
 
@@ -20,7 +21,8 @@ let all_modes =
       Cost_scaling_scratch_only;
     ]
 
-let default_config = { machines = 6; slots = 2; inject_eps = 1; modes = all_modes }
+let default_config =
+  { machines = 6; slots = 2; inject_eps = 1; force_incremental = false; modes = all_modes }
 
 let mode_name = function
   | Mcmf.Race.Race_parallel -> "race"
@@ -359,9 +361,17 @@ let run_mode config mode events =
   in
   let cluster = Cluster.State.create topo in
   let sched =
-    S.create
-      ~config:{ S.default_config with mode }
-      cluster
+    (* [force_incremental] lifts the repair budget so every eligible round
+       takes the incremental path regardless of change-set size — the
+       checks then exercise the repair kernel instead of the full race.
+       (max_int/4 and not max_int: the scheduler's size gate multiplies
+       the budget by 4.) *)
+    let sched_config =
+      if config.force_incremental then
+        { S.default_config with mode; incremental_budget = max_int / 4 }
+      else { S.default_config with mode }
+    in
+    S.create ~config:sched_config cluster
       ~policy:(fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st)
   in
   let st =

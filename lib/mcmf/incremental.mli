@@ -1,0 +1,46 @@
+(** O(changes) incremental flow repair (paper §5).
+
+    Takes a graph carrying the previous round's adopted {e optimal} flow
+    and potentials, already mutated by the round's change set, and
+    restores an optimal solution with work proportional to the dirty
+    region: saturate reduced-cost violations, then route the resulting
+    excesses to deficits with potential-guided Dijkstra whose potential
+    update touches only settled nodes. The result is certified
+    ({!Price_refine.certified} at the caller's scale + zero excess) —
+    any doubt returns {!Gave_up} and the caller runs the full race on
+    the untouched canonical graph. *)
+
+(** Why a repair was abandoned (exported per-reason via telemetry
+    [mcmf_incremental_giveup_*_total]). *)
+type reason =
+  | Oversized  (** more excess nodes or augmentations than [budget] *)
+  | No_path  (** an excess could not reach any deficit *)
+  | Not_certified  (** repair finished but certification failed *)
+  | Stopped_mid_repair  (** the stop callback fired *)
+
+val reason_name : reason -> string
+
+type outcome = Repaired of Solver_intf.stats | Gave_up of reason
+
+(** Persistent Dijkstra + bookkeeping scratch, epoch-stamped. *)
+type workspace
+
+val create_workspace : unit -> workspace
+
+(** [reserve ws bound] pre-sizes the workspace for graphs of node bound
+    [bound] so first use doesn't grow mid-round. *)
+val reserve : workspace -> int -> unit
+
+(** [repair ~scale ~budget g] mutates [g] (flows {e and} potentials, in
+    cost scaling's scaled units at [scale]) toward a certified optimal
+    solution. On [Gave_up] the graph is left partially repaired — hand
+    the kernel a scratch copy, never the canonical graph. [budget] caps
+    both the number of excess nodes and the number of augmentations
+    before giving up [Oversized]. *)
+val repair :
+  ?stop:Solver_intf.stop ->
+  scale:int ->
+  budget:int ->
+  ?workspace:workspace ->
+  Flowgraph.Graph.t ->
+  outcome

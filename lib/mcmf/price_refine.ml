@@ -36,25 +36,37 @@ let ws_ensure ws bound =
     ws.nbound <- n
   end
 
-(* Fast path: if the stored potentials already satisfy reduced-cost
-   optimality in unscaled units (true whenever relaxation produced the
-   solution — it maintains that invariant), valid scaled potentials are
-   just [scale · p]: rc_scaled = scale · rc_unscaled >= 0. *)
-let rescale_if_certified ~scale g =
+let reserve = ws_ensure
+
+(* Read-only dual-feasibility check at an arbitrary scale: every residual
+   arc must have nonnegative scaled reduced cost
+   [cost·scale − p(src) + p(dst)]. With [scale = 1] and unscaled
+   potentials this is plain reduced-cost optimality; with cost scaling's
+   scale it certifies potentials already living in scaled units (e.g.
+   after an incremental repair). *)
+let certified ?(scale = 1) g =
   let ok = ref true in
   (try
      G.iter_arcs g (fun a0 ->
-         if
-           (G.rescap g a0 > 0 && G.reduced_cost g a0 < 0)
-           || (G.rescap g (G.rev a0) > 0 && G.reduced_cost g (G.rev a0) < 0)
+         let u = G.src g a0 and v = G.dst g a0 in
+         let rc = (G.cost g a0 * scale) - G.potential g u + G.potential g v in
+         if (G.rescap g a0 > 0 && rc < 0) || (G.rescap g (G.rev a0) > 0 && rc > 0)
          then begin
            ok := false;
            raise Exit
          end)
    with Exit -> ());
-  if !ok then
-    G.iter_nodes g (fun v -> G.set_potential g v (G.potential g v * scale));
   !ok
+
+(* Fast path: if the stored potentials already satisfy reduced-cost
+   optimality in unscaled units (true whenever relaxation produced the
+   solution — it maintains that invariant), valid scaled potentials are
+   just [scale · p]: rc_scaled = scale · rc_unscaled >= 0. *)
+let rescale_if_certified ~scale g =
+  let ok = certified ~scale:1 g in
+  if ok then
+    G.iter_nodes g (fun v -> G.set_potential g v (G.potential g v * scale));
+  ok
 
 let run_spfa ~scale ws g =
   let bound = max 1 (G.node_bound g) in

@@ -19,6 +19,18 @@ type workspace
 
 val create_workspace : unit -> workspace
 
+(** [reserve ws bound] pre-sizes the SPFA scratch for graphs of node
+    bound [bound], so the first run grows nothing mid-round. *)
+val reserve : workspace -> int -> unit
+
+(** [certified ?scale g] is a read-only dual-feasibility check: [true] iff
+    every residual arc has nonnegative {e scaled} reduced cost
+    [cost·scale − p(src) + p(dst)] under [g]'s current potentials
+    (default [scale = 1], i.e. plain reduced-cost optimality). Never
+    mutates [g]. Used to certify incremental flow repairs whose
+    potentials already live in cost scaling's scaled units. *)
+val certified : ?scale:int -> Flowgraph.Graph.t -> bool
+
 (** [run ?scale g] rewrites [g]'s potentials (multiplied by [scale], so
     they live in {!Cost_scaling}'s scaled-cost units; default 1). Returns
     [false] — leaving potentials untouched — if the current flow admits a

@@ -28,6 +28,21 @@ let m_margin_ns =
     ~help:"winner margin (loser minus winner wall time, ns) in two-solver rounds"
     "mcmf_race_margin_ns"
 
+let m_wins_repair =
+  Telemetry.Metrics.counter m
+    ~help:"rounds resolved by the incremental flow-repair path (no solver ran)"
+    "mcmf_race_wins_repair_total"
+
+let m_winner_only =
+  Telemetry.Metrics.counter m
+    ~help:"sequential rounds that skipped the loser after a stable win streak"
+    "mcmf_race_winner_only_total"
+
+let m_winner_only_misses =
+  Telemetry.Metrics.counter m
+    ~help:"winner-only rounds that failed to prove optimality and re-raced"
+    "mcmf_race_winner_only_misses_total"
+
 let t_rx = Telemetry.Trace.register tr "race.relaxation"
 let t_cs = Telemetry.Trace.register tr "race.cost_scaling"
 
@@ -47,9 +62,11 @@ type mode =
 type t = {
   mode : mode;
   price_refine : bool;
+  incremental : bool;
   cs_state : Cost_scaling.state;
   rx_ws : Relaxation.workspace;
   pr_ws : Price_refine.workspace;
+  inc_ws : Incremental.workspace;
   mutable scratch_a : G.t option;
   mutable scratch_b : G.t option;
   (* The scratch pool and the solver workspaces are single-occupancy, so
@@ -58,22 +75,72 @@ type t = {
   (* Last round's winner, used by [Fastest_sequential] to run the likely
      winner first and budget the second solver by the first's runtime. *)
   mutable seq_first : winner;
+  (* Incremental-repair eligibility: the one graph (by physical identity)
+     whose potentials are known to certify its flow as optimal, and the
+     scaled-cost units those potentials live in. Set by {!prepare} after
+     adoption; a graph not physically equal to [pot_graph] never takes
+     the repair path, which makes interleaved commits, partial rounds and
+     failed refines safe by construction. *)
+  mutable pot_graph : G.t option;
+  mutable pot_scale : int;
+  (* The copy a successful repair produced, so {!prepare} can skip the
+     refine pass when the scheduler adopts it (its potentials were
+     certified by the repair itself, at [repaired_scale]). *)
+  mutable repaired_graph : G.t option;
+  mutable repaired_scale : int;
+  (* Adaptive winner-only escalation ([Fastest_sequential]): after [wo_k]
+     consecutive rounds won by the same solver with a stable margin, skip
+     the loser entirely; re-race after [wo_period] winner-only rounds, or
+     immediately when the lone solver fails to prove optimality. *)
+  wo_k : int;
+  wo_period : int;
+  wo_ratio : float;
+  mutable wo_streak : int;
+  mutable wo_since_race : int;
 }
 
-and winner = Relaxation | Cost_scaling
+and winner = Relaxation | Cost_scaling | Repair
 
-let create ?(alpha = 9) ?(price_refine = true) ~mode () =
-  {
-    mode;
-    price_refine;
-    cs_state = Cost_scaling.create ~alpha ();
-    rx_ws = Relaxation.create_workspace ();
-    pr_ws = Price_refine.create_workspace ();
-    scratch_a = None;
-    scratch_b = None;
-    in_flight = false;
-    seq_first = Cost_scaling;
-  }
+let create ?(alpha = 9) ?(price_refine = true) ?(incremental = true)
+    ?(winner_only_k = 8) ?(winner_only_period = 32) ?(winner_only_ratio = 1.2)
+    ?node_hint ?arc_hint ~mode () =
+  let t =
+    {
+      mode;
+      price_refine;
+      incremental;
+      cs_state = Cost_scaling.create ~alpha ();
+      rx_ws = Relaxation.create_workspace ();
+      pr_ws = Price_refine.create_workspace ();
+      inc_ws = Incremental.create_workspace ();
+      scratch_a = None;
+      scratch_b = None;
+      in_flight = false;
+      seq_first = Cost_scaling;
+      pot_graph = None;
+      pot_scale = 1;
+      repaired_graph = None;
+      repaired_scale = 1;
+      wo_k = winner_only_k;
+      wo_period = winner_only_period;
+      wo_ratio = winner_only_ratio;
+      wo_streak = 0;
+      wo_since_race = 0;
+    }
+  in
+  (* First-round warmup: pre-size the solver workspaces and pre-build the
+     scratch pool from the topology hints, so round 1 runs steady-state
+     instead of paying workspace growth. *)
+  (match node_hint with
+  | Some n when n > 0 ->
+      Relaxation.reserve t.rx_ws n;
+      Cost_scaling.reserve t.cs_state n;
+      Price_refine.reserve t.pr_ws n;
+      Incremental.reserve t.inc_ws n;
+      t.scratch_a <- Some (G.create ~node_hint:n ?arc_hint ());
+      t.scratch_b <- Some (G.create ~node_hint:n ?arc_hint ())
+  | _ -> ());
+  t
 
 let mode t = t.mode
 
@@ -134,9 +201,34 @@ let uses_cost_scaling t =
       true
 
 let prepare t g =
-  if t.price_refine && uses_cost_scaling t then begin
+  let repaired =
+    match t.repaired_graph with Some r -> r == g | None -> false
+  in
+  t.repaired_graph <- None;
+  if repaired then begin
+    (* The repair itself certified this graph's potentials (at
+       [repaired_scale]); the refine pass would be a no-op. *)
+    t.pot_graph <- Some g;
+    t.pot_scale <- t.repaired_scale
+  end
+  else if t.price_refine && uses_cost_scaling t then begin
     let scale = Cost_scaling.ensure_scale t.cs_state g in
-    ignore (Price_refine.run ~scale ~workspace:t.pr_ws g)
+    let ok = Price_refine.run ~scale ~workspace:t.pr_ws g in
+    if ok && t.incremental then begin
+      t.pot_graph <- Some g;
+      t.pot_scale <- scale
+    end
+    else t.pot_graph <- None
+  end
+  else if t.incremental then begin
+    (* No refine pass in this configuration; a read-only certification in
+       unscaled units (relaxation's invariant) still unlocks the repair
+       path when it holds. *)
+    if Price_refine.certified ~scale:1 g then begin
+      t.pot_graph <- Some g;
+      t.pot_scale <- 1
+    end
+    else t.pot_graph <- None
   end
 
 (* Assemble a result so that [graph] is always coherent: the winner's copy
@@ -201,7 +293,7 @@ let two_solver_result ~input ~g_rx ~g_cs rx cs =
    second runs uncapped (it may still find an optimum, or a sound
    infeasibility proof). Capped losers land in the margin histogram's
    low buckets — the residual gap the solve_wait phase exposes. *)
-let solve_sequential ?stop ~scratch t g =
+let solve_sequential_full ?stop ~scratch t g =
   let g_rx = take t g in
   let g_cs = take t g in
   if scratch then begin
@@ -232,14 +324,94 @@ let solve_sequential ?stop ~scratch t g =
     | Relaxation ->
         let rx = run_rx ?stop () in
         (rx, run_cs ?stop:(budget rx) ())
-    | Cost_scaling ->
+    | Cost_scaling | Repair ->
         let cs = run_cs ?stop () in
         (run_rx ?stop:(budget cs) (), cs)
   in
   let r = two_solver_result ~input:g ~g_rx ~g_cs rx cs in
+  (* Streak accounting for the winner-only escalation: the margin is
+     "stable" when the loser was budget-capped (it had not finished by
+     the winner's runtime) or finished at least [wo_ratio] slower. Only
+     warm rounds count — scratch retries are atypical. *)
+  if not scratch then begin
+    let winner_st, loser_st =
+      match r.winner with
+      | Relaxation -> (rx, cs)
+      | Cost_scaling | Repair -> (cs, rx)
+    in
+    let margin_ok =
+      loser_st.Solver_intf.outcome = Solver_intf.Stopped
+      || loser_st.Solver_intf.runtime >= t.wo_ratio *. winner_st.Solver_intf.runtime
+    in
+    t.wo_streak <-
+      (if not margin_ok then 0
+       else if r.winner = t.seq_first then t.wo_streak + 1
+       else 1);
+    t.wo_since_race <- 0
+  end;
   t.seq_first <- r.winner;
   reclaim t r [ g_rx; g_cs ];
   r
+
+(* Winner-only round: after [wo_k] consecutive same-winner rounds with a
+   stable margin, run only the expected winner. Any outcome other than a
+   proven optimum immediately falls back to the full two-solver round
+   (the skipped solver might have succeeded), and a full re-race happens
+   every [wo_period] rounds regardless so a regime change (e.g. the
+   cluster filling up, where relaxation degrades) is noticed. *)
+let solve_sequential ?stop ~scratch t g =
+  if
+    scratch || t.wo_k <= 0 || t.wo_streak < t.wo_k
+    || t.wo_since_race >= t.wo_period
+  then solve_sequential_full ?stop ~scratch t g
+  else begin
+    let c = take t g in
+    let st =
+      match t.seq_first with
+      | Relaxation ->
+          let t0 = Telemetry.Trace.span_begin () in
+          let rx = Relaxation.solve ?stop ~workspace:t.rx_ws c in
+          Telemetry.Trace.span_end tr ~phase:t_rx ~t0;
+          Telemetry.Metrics.observe m m_rx_ns
+            (Telemetry.Clock.ns_of_s rx.Solver_intf.runtime);
+          rx
+      | Cost_scaling | Repair ->
+          let t0 = Telemetry.Trace.span_begin () in
+          let cs = Cost_scaling.solve ?stop ~incremental:true t.cs_state c in
+          Telemetry.Trace.span_end tr ~phase:t_cs ~t0;
+          Telemetry.Metrics.observe m m_cs_ns
+            (Telemetry.Clock.ns_of_s cs.Solver_intf.runtime);
+          cs
+    in
+    match st.Solver_intf.outcome with
+    | Solver_intf.Optimal ->
+        Telemetry.Metrics.incr m m_winner_only;
+        t.wo_since_race <- t.wo_since_race + 1;
+        let winner = t.seq_first in
+        let relaxation_stats, cost_scaling_stats =
+          match winner with
+          | Relaxation ->
+              Telemetry.Metrics.incr m m_wins_rx;
+              (Some st, None)
+          | Cost_scaling | Repair ->
+              Telemetry.Metrics.incr m m_wins_cs;
+              (None, Some st)
+        in
+        let r =
+          finish ~input:g ~solved:c ~winner ~relaxation_stats
+            ~cost_scaling_stats st
+        in
+        reclaim t r [ c ];
+        r
+    | Solver_intf.Infeasible | Solver_intf.Stopped ->
+        (* The lone solver could not prove an optimum: the skipped one
+           might have. Discard this attempt and re-race both. *)
+        Telemetry.Metrics.incr m m_winner_only_misses;
+        t.wo_streak <- 0;
+        t.wo_since_race <- 0;
+        give_back t c;
+        solve_sequential_full ?stop ~scratch t g
+  end
 
 let solve_relaxation_only ?stop ~scratch t g =
   let c = take t g in
@@ -356,15 +528,60 @@ let submit_parallel ?(stop = Solver_intf.never_stop) ~scratch t g =
       r_result = None;
     }
 
-let submit ?stop ?(scratch = false) t g =
+(* Delta path: when the caller vouches the round's change set is small
+   ([delta_budget]) and the input graph is the one whose potentials
+   {!prepare} certified, try an O(changes) flow repair on a scratch copy
+   before dispatching any solver. A give-up (oversized delta, unroutable
+   excess, failed certification, stop) recycles the copy and falls
+   through to the configured mode untouched — the fallback ladder below
+   never sees a difference. *)
+let try_repair ?stop ~scratch ~delta_budget t g =
+  if scratch || not t.incremental then None
+  else
+    match (delta_budget, t.pot_graph) with
+    | Some budget, Some pg when pg == g && budget > 0 -> (
+        let c = take t g in
+        match
+          Incremental.repair ?stop ~scale:t.pot_scale ~budget
+            ~workspace:t.inc_ws c
+        with
+        | Incremental.Repaired stats ->
+            t.repaired_graph <- Some c;
+            t.repaired_scale <- t.pot_scale;
+            Telemetry.Metrics.incr m m_wins_repair;
+            Some
+              {
+                graph = c;
+                partial = None;
+                winner = Repair;
+                stats;
+                relaxation_stats = None;
+                cost_scaling_stats = None;
+              }
+        | Incremental.Gave_up _ ->
+            give_back t c;
+            None)
+    | _ -> None
+
+let submit ?stop ?(scratch = false) ?delta_budget t g =
   if t.in_flight then invalid_arg "Race.submit: a solve is already in flight";
   Telemetry.Metrics.incr m m_solves;
-  match t.mode with
-  | Relaxation_only -> Done (solve_relaxation_only ?stop ~scratch t g)
-  | Incremental_cost_scaling_only -> Done (solve_incremental_cs ?stop ~scratch t g)
-  | Cost_scaling_scratch_only -> Done (solve_cost_scaling_only ?stop ~incremental:false t g)
-  | Fastest_sequential -> Done (solve_sequential ?stop ~scratch t g)
-  | Race_parallel -> submit_parallel ?stop ~scratch t g
+  (* A repaired-copy marker is only meaningful between the submit that
+     produced it and the {!prepare} of its adoption; a commit that did
+     not adopt (interleaved reconcile) leaves it stale, and the copy may
+     already be back in the scratch pool — drop it before it can
+     spuriously match a future adoption. *)
+  t.repaired_graph <- None;
+  match try_repair ?stop ~scratch ~delta_budget t g with
+  | Some r -> Done r
+  | None -> (
+      match t.mode with
+      | Relaxation_only -> Done (solve_relaxation_only ?stop ~scratch t g)
+      | Incremental_cost_scaling_only -> Done (solve_incremental_cs ?stop ~scratch t g)
+      | Cost_scaling_scratch_only ->
+          Done (solve_cost_scaling_only ?stop ~incremental:false t g)
+      | Fastest_sequential -> Done (solve_sequential ?stop ~scratch t g)
+      | Race_parallel -> submit_parallel ?stop ~scratch t g)
 
 let poll = function
   | Done _ -> true
@@ -382,4 +599,5 @@ let await = function
           i.r_result <- Some r;
           r)
 
-let solve ?stop ?scratch t g = await (submit ?stop ?scratch t g)
+let solve ?stop ?scratch ?delta_budget t g =
+  await (submit ?stop ?scratch ?delta_budget t g)

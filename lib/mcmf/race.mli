@@ -41,12 +41,46 @@ type t
 (** [create ?alpha ?price_refine ~mode ()] builds an orchestrator.
     [alpha] is cost scaling's ε-division factor (paper tunes 9 for the
     Quincy policy); [price_refine] (default [true]) controls the §6.2
-    transition optimization. *)
-val create : ?alpha:int -> ?price_refine:bool -> mode:mode -> unit -> t
+    transition optimization.
+
+    [incremental] (default [true]) enables the O(changes) flow-repair
+    path: {!prepare} then tracks which graph's potentials certify its
+    flow as optimal, and a later {!submit} with [?delta_budget] on that
+    same graph may resolve the round by {!Incremental.repair} instead of
+    running any solver.
+
+    [winner_only_k]/[winner_only_period]/[winner_only_ratio] tune the
+    [Fastest_sequential] escalation: after [winner_only_k] consecutive
+    rounds won by the same solver with a stable margin (the loser was
+    budget-capped, or at least [winner_only_ratio]× slower), the loser is
+    skipped entirely; a full re-race runs every [winner_only_period]
+    winner-only rounds, or immediately when the lone solver fails to
+    prove optimality. [winner_only_k <= 0] disables the escalation.
+
+    [node_hint]/[arc_hint] pre-size the solver workspaces and the two
+    pooled scratch graphs so the first round runs steady-state (no
+    workspace growth mid-round). *)
+val create :
+  ?alpha:int ->
+  ?price_refine:bool ->
+  ?incremental:bool ->
+  ?winner_only_k:int ->
+  ?winner_only_period:int ->
+  ?winner_only_ratio:float ->
+  ?node_hint:int ->
+  ?arc_hint:int ->
+  mode:mode ->
+  unit ->
+  t
 
 val mode : t -> mode
 
-type winner = Relaxation | Cost_scaling
+type winner =
+  | Relaxation
+  | Cost_scaling
+  | Repair
+      (** the round was resolved by the incremental flow-repair path;
+          no solver ran *)
 
 type result = {
   graph : Flowgraph.Graph.t;
@@ -62,19 +96,26 @@ type result = {
   winner : winner;
   stats : Solver_intf.stats;  (** the winner's stats — inspect [outcome] *)
   relaxation_stats : Solver_intf.stats option;
-      (** [Some] whenever relaxation actually ran this round — in the
-          two-solver modes that includes the loser (cancelled or
+      (** [Some] whenever relaxation actually ran this round — in a full
+          two-solver round that includes the loser (cancelled or
           [Stopped] runs report their partial work), so winner/loser
-          margins stay observable. [None] only in modes that never run
-          the solver. *)
+          margins stay observable. [None] in modes that never run the
+          solver, in winner-only escalated rounds (the skipped loser ran
+          nothing — [mcmf_race_winner_only_total] counts those), and in
+          rounds resolved by the [Repair] path (both are [None]). *)
   cost_scaling_stats : Solver_intf.stats option;
       (** same guarantee for cost scaling *)
 }
 
 (** [prepare t g] must be called on the canonical graph while it still
     holds the previous optimal solution, {e before} applying the next batch
-    of cluster changes. No-op when price refine is disabled, the mode never
-    runs cost scaling, or the flow is not optimal (first run). *)
+    of cluster changes. Price-refines the potentials (no-op when price
+    refine is disabled, the mode never runs cost scaling, or the flow is
+    not optimal — first run), and records whether [g]'s potentials now
+    certify its flow: only then may the next {!submit} with
+    [?delta_budget] take the incremental repair path. A graph just
+    adopted from a [Repair]-winner round skips the refine pass — the
+    repair already certified it. *)
 val prepare : t -> Flowgraph.Graph.t -> unit
 
 (** A submitted solve. The working copies are taken from the input graph
@@ -91,11 +132,25 @@ type handle
     way the scratch copies are taken before [submit] returns, so [g] may
     be mutated afterwards without affecting the result.
 
+    [?delta_budget] vouches that the round's change set is small (at most
+    that many excess nodes / augmentations): if additionally [g] is the
+    graph the last {!prepare} certified, the round is first attempted as
+    an O(changes) {!Incremental.repair} on a scratch copy — on success
+    the handle is ready at once with [winner = Repair]; on any give-up
+    (reasons exported as [mcmf_incremental_giveup_*_total]) the
+    configured mode runs untouched, exactly as if [delta_budget] had not
+    been passed.
+
     At most one solve may be outstanding per [t] (the scratch pool and
     solver workspaces are single-occupancy).
     @raise Invalid_argument if a previous submit has not been awaited. *)
 val submit :
-  ?stop:Solver_intf.stop -> ?scratch:bool -> t -> Flowgraph.Graph.t -> handle
+  ?stop:Solver_intf.stop ->
+  ?scratch:bool ->
+  ?delta_budget:int ->
+  t ->
+  Flowgraph.Graph.t ->
+  handle
 
 (** [poll h] is [true] once every racer has finished, i.e. once {!await}
     will return without blocking. *)
@@ -118,7 +173,13 @@ val await : handle -> result
     {!Flowgraph.Graph.reset_flow} and cost scaling takes the full scratch
     ε ladder — the scheduler's second attempt after an [Infeasible]
     round. *)
-val solve : ?stop:Solver_intf.stop -> ?scratch:bool -> t -> Flowgraph.Graph.t -> result
+val solve :
+  ?stop:Solver_intf.stop ->
+  ?scratch:bool ->
+  ?delta_budget:int ->
+  t ->
+  Flowgraph.Graph.t ->
+  result
 
 (** [recycle t g] donates [g]'s storage back to [t]'s scratch pool, to be
     refreshed by a later {!solve}. Call it on graphs you own and no longer

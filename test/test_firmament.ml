@@ -685,8 +685,10 @@ let test_scheduler_phase_attribution () =
      complete: the round degrades to [`Partial], and its [phase_ns] must
      attribute the spent budget across named phases whose durations sum
      to the round's wall time (the checkpoints are contiguous, so the sum
-     is exact up to the instants before/after the schedule call). *)
-  let machines = 400 in
+     is exact up to the instants before/after the schedule call). The
+     instance must be big enough that a warm-started-workspace scratch
+     solve still reliably blows the deadline. *)
+  let machines = 1500 in
   let cluster = mk_cluster ~machines ~slots:4 in
   let sched =
     Firmament.Scheduler.create
@@ -1213,7 +1215,13 @@ let test_solve_win_wait_split () =
   let sched =
     Firmament.Scheduler.create
       ~config:
-        { Firmament.Scheduler.default_config with mode = Mcmf.Race.Fastest_sequential }
+        {
+          Firmament.Scheduler.default_config with
+          mode = Mcmf.Race.Fastest_sequential;
+          (* This test asserts both solvers ran; the repair path would
+             resolve quiet rounds without running either. *)
+          incremental = false;
+        }
       cluster
       ~policy:(fun ~drain net st -> Firmament.Policy_quincy.make ~drain net st)
   in

@@ -748,6 +748,229 @@ let test_race_recycling_input_is_rejected () =
   (* The input keeps its zero flow: the solver worked on a copy. *)
   checki "input untouched" 0 (G.total_cost g)
 
+(* {1 Incremental flow repair} *)
+
+(* A change-set burst richer than [mutation_burst]: cost perturbations,
+   capacity increases {e and cuts}, plus a handful of brand-new arcs —
+   the full shape of a scheduler round's deltas minus task add/remove
+   (covered end-to-end by the fuzz harness). Capacity cuts may make the
+   instance infeasible; callers must accept a [No_path] give-up exactly
+   when a scratch solve is infeasible. *)
+let repair_burst ~mseed g =
+  let rng = Random.State.make [| 0x726570; mseed |] in
+  let arcs = ref [] in
+  G.iter_arcs g (fun a -> arcs := a :: !arcs);
+  List.iter
+    (fun a ->
+      match Random.State.int rng 6 with
+      | 0 -> G.set_cost g a (max 0 (G.cost g a + Random.State.int rng 21 - 10))
+      | 1 -> G.set_capacity g a (G.capacity g a + Random.State.int rng 4)
+      | 2 -> G.set_capacity g a (max 0 (G.capacity g a - Random.State.int rng 2))
+      | _ -> ())
+    !arcs;
+  let nodes = ref [] in
+  G.iter_nodes g (fun v -> nodes := v :: !nodes);
+  let nodes = Array.of_list !nodes in
+  let n = Array.length nodes in
+  if n >= 2 then
+    for _ = 1 to 1 + Random.State.int rng 4 do
+      let i = Random.State.int rng n and j = Random.State.int rng n in
+      if i <> j then
+        ignore
+          (G.add_arc g ~src:nodes.(i) ~dst:nodes.(j)
+             ~cost:(Random.State.int rng 30)
+             ~cap:(Random.State.int rng 6))
+    done
+
+let prop_incremental_repair_matches_full =
+  (* The tentpole property: starting from a certified optimal solution,
+     [Incremental.repair] after an arbitrary mutation burst must land on
+     the same objective cost as a from-scratch solve of the mutated
+     instance, feasible and optimal per the validators — across all
+     three NETGEN families. When the burst makes the instance
+     infeasible, repair must give up [No_path], never mis-certify. *)
+  QCheck.Test.make ~name:"incremental repair = full solve on NETGEN after burst"
+    ~count:120
+    QCheck.(pair (int_bound 1_000_000) (int_bound 1_000_000))
+    (fun (seed, mseed) ->
+      let g = netgen_instance seed in
+      let s1 = Mcmf.Relaxation.solve g in
+      if s1.S.outcome <> S.Optimal then QCheck.assume_fail ()
+      else if not (Mcmf.Price_refine.certified ~scale:1 g) then
+        QCheck.Test.fail_report "relaxation optimum not dual-feasible"
+      else begin
+        repair_burst ~mseed g;
+        let g_scratch = G.copy g in
+        G.reset_flow g_scratch;
+        let s_ref = Mcmf.Ssp.solve g_scratch in
+        match Mcmf.Incremental.repair ~scale:1 ~budget:max_int g with
+        | Mcmf.Incremental.Repaired st ->
+            if s_ref.S.outcome <> S.Optimal then
+              QCheck.Test.fail_report "repair certified an infeasible instance"
+            else
+              st.S.outcome = S.Optimal
+              && G.total_cost g = G.total_cost g_scratch
+              && Validate.is_feasible g && Validate.is_optimal g
+        | Mcmf.Incremental.Gave_up Mcmf.Incremental.No_path ->
+            (* Sound give-up only on genuinely unroutable change sets. *)
+            s_ref.S.outcome = S.Infeasible
+        | Mcmf.Incremental.Gave_up r ->
+            QCheck.Test.fail_report
+              ("repair gave up: " ^ Mcmf.Incremental.reason_name r)
+      end)
+
+let prop_race_repair_path_matches =
+  (* Race-level integration: prepare on the adopted optimum, mutate, then
+     submit with a delta budget — whatever path the orchestrator takes
+     (repair or full race), the result must match a scratch solve. *)
+  QCheck.Test.make ~name:"race with delta budget = scratch solve" ~count:60
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let race = Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential () in
+      let r1 = Mcmf.Race.solve race (netgen_instance seed) in
+      if r1.Mcmf.Race.stats.S.outcome <> S.Optimal then QCheck.assume_fail ()
+      else begin
+        let g = r1.Mcmf.Race.graph in
+        Mcmf.Race.prepare race g;
+        mutation_burst ~mseed:(seed lxor 0x5eed) g;
+        let g_scratch = G.copy g in
+        G.reset_flow g_scratch;
+        let s_ref = Mcmf.Ssp.solve g_scratch in
+        let r2 = Mcmf.Race.solve ~delta_budget:1_000_000 race g in
+        r2.Mcmf.Race.stats.S.outcome = S.Optimal
+        && s_ref.S.outcome = S.Optimal
+        && G.total_cost r2.Mcmf.Race.graph = G.total_cost g_scratch
+        && Validate.is_optimal r2.Mcmf.Race.graph
+      end)
+
+let counter_value name =
+  let m = Telemetry.Metrics.global () in
+  match Telemetry.Metrics.find m name with
+  | Some id -> Telemetry.Metrics.value m id
+  | None -> 0
+
+let test_race_repair_taken_and_telemetry () =
+  (* The orchestrator must actually take the repair path on a quiet round
+     following prepare on the adopted graph, report [winner = Repair]
+     with both per-solver stats absent, and count it in telemetry. *)
+  let repairs0 = counter_value "mcmf_race_wins_repair_total" in
+  let race = Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential () in
+  let r1 = Mcmf.Race.solve race (diamond ()) in
+  Alcotest.check outcome_t "round 1 optimal" S.Optimal r1.Mcmf.Race.stats.S.outcome;
+  let g = r1.Mcmf.Race.graph in
+  Mcmf.Race.prepare race g;
+  (* Small perturbation: one arc cost bump. *)
+  let some_arc = ref (-1) in
+  G.iter_arcs g (fun a -> if !some_arc < 0 then some_arc := a);
+  G.set_cost g !some_arc (G.cost g !some_arc + 2);
+  let r2 = Mcmf.Race.solve ~delta_budget:64 race g in
+  Alcotest.check outcome_t "repair round optimal" S.Optimal r2.Mcmf.Race.stats.S.outcome;
+  checkb "winner is Repair" true (r2.Mcmf.Race.winner = Mcmf.Race.Repair);
+  checkb "no per-solver stats on repair rounds" true
+    (r2.Mcmf.Race.relaxation_stats = None && r2.Mcmf.Race.cost_scaling_stats = None);
+  checkb "repair win counted" true
+    (counter_value "mcmf_race_wins_repair_total" > repairs0);
+  checkb "repaired graph optimal" true (Validate.is_optimal r2.Mcmf.Race.graph);
+  (* Without a fresh prepare (or after a round that did not certify), the
+     next delta-budget submit must fall back to the full race. *)
+  let g2 = r2.Mcmf.Race.graph in
+  let r3 = Mcmf.Race.solve ~delta_budget:64 race (G.copy g2) in
+  checkb "no repair without prepare on that graph" true
+    (r3.Mcmf.Race.winner <> Mcmf.Race.Repair)
+
+let test_repair_give_up_reasons () =
+  (* No_path: a single-arc instance whose only route is cut to zero. *)
+  let g = G.create () in
+  let s = G.add_node g ~supply:1 in
+  let t = G.add_node g ~supply:(-1) in
+  let a = G.add_arc g ~src:s ~dst:t ~cost:1 ~cap:1 in
+  ignore (Mcmf.Ssp.solve g);
+  checkb "solved" true (Validate.is_optimal g);
+  G.set_capacity g a 0;
+  (match Mcmf.Incremental.repair ~scale:1 ~budget:64 g with
+  | Mcmf.Incremental.Gave_up Mcmf.Incremental.No_path -> ()
+  | Mcmf.Incremental.Gave_up r ->
+      Alcotest.failf "expected No_path, got %s" (Mcmf.Incremental.reason_name r)
+  | Mcmf.Incremental.Repaired _ -> Alcotest.fail "repaired an unroutable cut");
+  (* Oversized: a burst minting more excess nodes than the budget. *)
+  let g = netgen_instance 9 in
+  ignore (Mcmf.Relaxation.solve g);
+  repair_burst ~mseed:9 g;
+  (match Mcmf.Incremental.repair ~scale:1 ~budget:0 g with
+  | Mcmf.Incremental.Gave_up Mcmf.Incremental.Oversized -> ()
+  | Mcmf.Incremental.Gave_up r ->
+      Alcotest.failf "expected Oversized, got %s" (Mcmf.Incremental.reason_name r)
+  | Mcmf.Incremental.Repaired _ -> Alcotest.fail "budget 0 must not repair");
+  (* Stopped: the stop callback fires before the first augmentation. *)
+  let g = G.create () in
+  let s = G.add_node g ~supply:2 in
+  let t = G.add_node g ~supply:(-2) in
+  let a = G.add_arc g ~src:s ~dst:t ~cost:1 ~cap:2 in
+  let b = G.add_arc g ~src:s ~dst:t ~cost:3 ~cap:2 in
+  ignore b;
+  ignore (Mcmf.Ssp.solve g);
+  G.set_capacity g a 1;
+  (match Mcmf.Incremental.repair ~stop:(fun () -> true) ~scale:1 ~budget:64 g with
+  | Mcmf.Incremental.Gave_up Mcmf.Incremental.Stopped_mid_repair -> ()
+  | Mcmf.Incremental.Gave_up r ->
+      Alcotest.failf "expected Stopped, got %s" (Mcmf.Incremental.reason_name r)
+  | Mcmf.Incremental.Repaired _ -> Alcotest.fail "stop must abandon the repair")
+
+let test_repair_no_change_round () =
+  (* Zero changes: repair finds nothing to do and certifies immediately. *)
+  let g = netgen_instance 5 in
+  ignore (Mcmf.Relaxation.solve g);
+  let cost = G.total_cost g in
+  match Mcmf.Incremental.repair ~scale:1 ~budget:1 g with
+  | Mcmf.Incremental.Repaired st ->
+      Alcotest.check outcome_t "optimal" S.Optimal st.S.outcome;
+      checki "cost unchanged" cost (G.total_cost g)
+  | Mcmf.Incremental.Gave_up r ->
+      Alcotest.failf "no-change repair gave up: %s" (Mcmf.Incremental.reason_name r)
+
+let test_race_winner_only_escalation () =
+  (* With k=1, period=2, ratio=0 the escalation pattern is deterministic:
+     round 1 full race, rounds 2-3 winner-only (the skipped loser reports
+     no stats), round 4 a forced periodic re-race, then winner-only
+     again. Every round must stay optimal. *)
+  let wo0 = counter_value "mcmf_race_winner_only_total" in
+  let race =
+    Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential ~incremental:false
+      ~winner_only_k:1 ~winner_only_period:2 ~winner_only_ratio:0.0 ()
+  in
+  let both (r : Mcmf.Race.result) =
+    (r.Mcmf.Race.relaxation_stats <> None, r.Mcmf.Race.cost_scaling_stats <> None)
+  in
+  let round () =
+    let r = Mcmf.Race.solve race (diamond ()) in
+    Alcotest.check outcome_t "round optimal" S.Optimal r.Mcmf.Race.stats.S.outcome;
+    checki "round cost" diamond_optimal_cost (G.total_cost r.Mcmf.Race.graph);
+    Mcmf.Race.recycle race r.Mcmf.Race.graph;
+    both r
+  in
+  let expect_full (rx, cs) label = checkb (label ^ ": both solvers ran") true (rx && cs) in
+  let expect_wo (rx, cs) label =
+    checkb (label ^ ": exactly one solver ran") true ((rx || cs) && not (rx && cs))
+  in
+  expect_full (round ()) "round 1";
+  expect_wo (round ()) "round 2";
+  expect_wo (round ()) "round 3";
+  expect_full (round ()) "round 4";
+  expect_wo (round ()) "round 5";
+  checki "winner-only rounds counted" 3
+    (counter_value "mcmf_race_winner_only_total" - wo0);
+  (* k=0 disables the escalation entirely. *)
+  let race =
+    Mcmf.Race.create ~mode:Mcmf.Race.Fastest_sequential ~incremental:false
+      ~winner_only_k:0 ~winner_only_ratio:0.0 ()
+  in
+  for i = 1 to 4 do
+    let r = Mcmf.Race.solve race (diamond ()) in
+    checkb (Printf.sprintf "k=0 round %d runs both" i) true
+      (r.Mcmf.Race.relaxation_stats <> None && r.Mcmf.Race.cost_scaling_stats <> None);
+    Mcmf.Race.recycle race r.Mcmf.Race.graph
+  done
+
 (* {1 Degraded outcomes: infeasible and stopped races} *)
 
 let all_race_modes =
@@ -1063,7 +1286,16 @@ let () =
             test_race_recycling_input_is_rejected;
           Alcotest.test_case "two-solver stats always populated" `Quick
             test_race_two_solver_stats_always_populated;
+          Alcotest.test_case "winner-only escalation" `Quick
+            test_race_winner_only_escalation;
         ] );
+      ( "incremental-repair",
+        Alcotest.test_case "repair path taken and counted" `Quick
+          test_race_repair_taken_and_telemetry
+        :: Alcotest.test_case "give-up reasons" `Quick test_repair_give_up_reasons
+        :: Alcotest.test_case "no-change round" `Quick test_repair_no_change_round
+        :: qcheck [ prop_incremental_repair_matches_full; prop_race_repair_path_matches ]
+      );
       ( "degradation",
         Alcotest.test_case "infeasible returns untouched input" `Quick
           test_race_infeasible_returns_untouched_input
