@@ -1,0 +1,174 @@
+(* firmament_loadgen: firehose client for firmament_serve.
+
+     dune exec bin/firmament_loadgen.exe -- --connect 127.0.0.1:7117 \
+       --rate 10000 --duration 10 --connections 4
+
+   Replays a synthetic open-loop firehose (or a Dcsim.Churn trace with
+   --trace-events) across N connections and reports end-to-end
+   submit-to-placement-notification latency percentiles. Exit is nonzero
+   if any protocol error was observed. *)
+
+open Cmdliner
+
+let listen_conv =
+  let parse s =
+    match Server.Service.listen_of_string s with
+    | Ok l -> Ok l
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Server.Service.pp_listen)
+
+let with_out path f =
+  match path with
+  | "-" ->
+      f Format.std_formatter;
+      Format.pp_print_flush Format.std_formatter ()
+  | _ ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let ppf = Format.formatter_of_out_channel oc in
+          f ppf;
+          Format.pp_print_flush ppf ())
+
+let run endpoint connections rate duration tasks_per_job task_duration seed trace_events
+    trace_machines jid_base max_retries drain_grace metrics_out json =
+  let mode =
+    match trace_events with
+    | Some length ->
+        Server.Loadgen.Trace
+          (Dcsim.Churn.generate ~seed ~machines:trace_machines ~length)
+    | None ->
+        Server.Loadgen.Synthetic
+          { tasks_per_job; task_duration_s = task_duration }
+  in
+  let config =
+    {
+      Server.Loadgen.endpoint;
+      connections;
+      rate;
+      duration_s = duration;
+      seed;
+      mode;
+      jid_base;
+      max_retries;
+      drain_grace_s = drain_grace;
+    }
+  in
+  let r = Server.Loadgen.run config in
+  if json then
+    let pct p = Dcsim.Stats.percentile r.latencies_s p in
+    Printf.printf
+      "{\"elapsed_s\":%.3f,\"task_events_sent\":%d,\"task_events_acked\":%d,\
+       \"achieved_rate\":%.1f,\"submits\":%d,\"finishes\":%d,\"nacks\":%d,\
+       \"retries_exhausted\":%d,\"placements\":%d,\"migrations\":%d,\
+       \"preempt_notices\":%d,\"protocol_errors\":%d,\"server_shutdown\":%b,\
+       \"latency_p50_s\":%g,\"latency_p99_s\":%g,\"latency_max_s\":%g,\
+       \"latency_samples\":%d}\n"
+      r.elapsed_s r.task_events_sent r.task_events_acked r.achieved_rate r.submits
+      r.finishes r.nacks r.retries_exhausted r.placements r.migrations r.preempt_notices
+      r.protocol_errors r.server_shutdown (pct 50.) (pct 99.)
+      (Dcsim.Stats.maximum r.latencies_s)
+      (List.length r.latencies_s)
+  else Format.printf "%a@." Server.Loadgen.pp_report r;
+  Option.iter
+    (fun p ->
+      with_out p (fun ppf ->
+          Telemetry.Export.prometheus ppf (Telemetry.Metrics.global ())))
+    metrics_out;
+  if r.protocol_errors > 0 then exit 2
+
+let cmd =
+  let endpoint =
+    Arg.(
+      value
+      & opt listen_conv (Server.Service.Tcp ("127.0.0.1", 7117))
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Server endpoint: $(b,HOST:PORT) or $(b,unix:PATH).")
+  in
+  let connections =
+    Arg.(
+      value & opt int 4
+      & info [ "connections" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 1000.
+      & info [ "rate" ] ~docv:"EVENTS_PER_SEC"
+          ~doc:"Target task events per second across all connections.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 5.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Synthetic-mode send window.")
+  in
+  let tasks_per_job =
+    Arg.(
+      value & opt int 8
+      & info [ "tasks-per-job" ] ~docv:"N" ~doc:"Synthetic-mode job width.")
+  in
+  let task_duration =
+    Arg.(
+      value & opt float 1.0
+      & info [ "task-duration" ] ~docv:"SECONDS"
+          ~doc:
+            "Synthetic-mode task lifetime: each placed task reports a finish this \
+             long after its placement notification arrives.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+  let trace_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trace-events" ] ~docv:"N"
+          ~doc:
+            "Replay an $(docv)-event $(b,Dcsim.Churn) trace (generated from \
+             $(b,--seed)) instead of the synthetic firehose.")
+  in
+  let trace_machines =
+    Arg.(
+      value & opt int 250
+      & info [ "trace-machines" ] ~docv:"N"
+          ~doc:"Machine-id range for generated trace events (match the server).")
+  in
+  let jid_base =
+    Arg.(
+      value & opt int 1
+      & info [ "jid-base" ] ~docv:"N"
+          ~doc:"First job id (give parallel loadgen processes disjoint ranges).")
+  in
+  let max_retries =
+    Arg.(
+      value & opt int 8
+      & info [ "max-retries" ] ~docv:"N" ~doc:"Per-event NACK retry budget.")
+  in
+  let drain_grace =
+    Arg.(
+      value & opt float 1.0
+      & info [ "drain-grace" ] ~docv:"SECONDS"
+          ~doc:"Wait for in-flight placements after the send window closes.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write client telemetry in Prometheus text exposition format to $(docv) \
+             ($(b,-) for stdout).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the report as a single JSON object on stdout.")
+  in
+  let doc = "firehose load generator for firmament_serve" in
+  Cmd.v
+    (Cmd.info "firmament_loadgen" ~doc)
+    Term.(
+      const run $ endpoint $ connections $ rate $ duration $ tasks_per_job $ task_duration
+      $ seed $ trace_events $ trace_machines $ jid_base $ max_retries $ drain_grace
+      $ metrics_out $ json)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,211 @@
+(* firmament_serve: persistent Firmament scheduler daemon.
+
+     dune exec bin/firmament_serve.exe -- --listen 127.0.0.1:7117 \
+       --machines 1000 --metrics-listen 127.0.0.1:9117
+
+   Speaks the length-prefixed binary protocol of Server.Protocol over TCP
+   or Unix sockets; SIGINT/SIGTERM drain gracefully (in-flight round
+   committed, Shutdown frames sent, exit 0). *)
+
+open Cmdliner
+
+type policy = Quincy | Load_spread | Network_aware
+
+let policy_conv =
+  Arg.enum
+    [ ("quincy", Quincy); ("load-spread", Load_spread); ("network-aware", Network_aware) ]
+
+let mode_conv =
+  Arg.enum
+    Mcmf.Race.
+      [
+        ("race", Race_parallel);
+        ("fastest", Fastest_sequential);
+        ("relaxation", Relaxation_only);
+        ("incremental-cs", Incremental_cost_scaling_only);
+        ("quincy-cs", Cost_scaling_scratch_only);
+      ]
+
+let listen_conv =
+  let parse s =
+    match Server.Service.listen_of_string s with
+    | Ok l -> Ok l
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Server.Service.pp_listen)
+
+let with_out path f =
+  match path with
+  | "-" ->
+      f Format.std_formatter;
+      Format.pp_print_flush Format.std_formatter ()
+  | _ ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          let ppf = Format.formatter_of_out_channel oc in
+          f ppf;
+          Format.pp_print_flush ppf ())
+
+let run listen metrics_listen machines machines_per_rack slots policy mode deadline
+    incremental_budget batch_max linger_ms queue_cap grace_s metrics_out metrics_summary =
+  let policy_factory ~drain net st =
+    match policy with
+    | Quincy -> Firmament.Policy_quincy.make ~drain net st
+    | Load_spread -> Firmament.Policy_load_spread.make ~drain net st
+    | Network_aware -> Firmament.Policy_network_aware.make ~drain net st
+  in
+  let scheduler =
+    {
+      Firmament.Scheduler.default_config with
+      mode;
+      deadline;
+      incremental_budget =
+        (match incremental_budget with
+        | Some b -> b
+        | None -> Firmament.Scheduler.default_config.incremental_budget);
+    }
+  in
+  let config =
+    {
+      Server.Service.default_config with
+      listen;
+      metrics_listen;
+      machines;
+      machines_per_rack;
+      slots_per_machine = slots;
+      scheduler;
+      policy = policy_factory;
+      batch_max;
+      linger_s = linger_ms /. 1000.;
+      queue_capacity = queue_cap;
+      shutdown_grace_s = grace_s;
+    }
+  in
+  let t = Server.Service.create config in
+  let graceful _ = Server.Service.request_shutdown t in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle graceful);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle graceful);
+  Format.printf "firmament_serve: listening on %a (%d machines, %d slots each)%t@."
+    Server.Service.pp_listen listen machines slots (fun ppf ->
+      Option.iter
+        (fun ml -> Format.fprintf ppf ", metrics on %a" Server.Service.pp_listen ml)
+        metrics_listen);
+  Server.Service.run t;
+  let reg = Telemetry.Metrics.global () in
+  Option.iter
+    (fun p -> with_out p (fun ppf -> Telemetry.Export.prometheus ppf reg))
+    metrics_out;
+  if metrics_summary then
+    Format.printf "%a@."
+      (Telemetry.Export.pp_summary ~pp_duration:Dcsim.Stats.pp_duration)
+      reg;
+  Format.printf "firmament_serve: drained %d rounds, bye@."
+    (Server.Service.rounds_committed t)
+
+let cmd =
+  let listen =
+    Arg.(
+      value
+      & opt listen_conv (Server.Service.Tcp ("127.0.0.1", 7117))
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Endpoint to serve on: $(b,HOST:PORT) or $(b,unix:PATH).")
+  in
+  let metrics_listen =
+    Arg.(
+      value
+      & opt (some listen_conv) None
+      & info [ "metrics-listen" ] ~docv:"ADDR"
+          ~doc:
+            "Optional Prometheus scrape endpoint: any HTTP GET receives the \
+             telemetry registry in text exposition format.")
+  in
+  let machines =
+    Arg.(value & opt int 250 & info [ "machines" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let machines_per_rack =
+    Arg.(value & opt int 8 & info [ "machines-per-rack" ] ~docv:"N" ~doc:"Rack width.")
+  in
+  let slots =
+    Arg.(value & opt int 16 & info [ "slots" ] ~docv:"N" ~doc:"Slots per machine.")
+  in
+  let policy =
+    Arg.(
+      value & opt policy_conv Quincy
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Scheduling policy: $(b,quincy), $(b,load-spread) or $(b,network-aware).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt mode_conv Mcmf.Race.Fastest_sequential
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Solver orchestration: $(b,race), $(b,fastest), $(b,relaxation), \
+             $(b,incremental-cs) or $(b,quincy-cs).")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-round wall-clock deadline; overruns degrade to partial placement.")
+  in
+  let incremental_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "incremental-budget" ] ~docv:"N"
+          ~doc:
+            "Work budget (relabel operations) for the O(changes) incremental repair \
+             path before falling back to a full solve. Default: the scheduler's \
+             built-in budget.")
+  in
+  let batch_max =
+    Arg.(
+      value & opt int 1024
+      & info [ "batch-max" ] ~docv:"N" ~doc:"Admitted events per scheduling round.")
+  in
+  let linger_ms =
+    Arg.(
+      value & opt float 20.
+      & info [ "linger-ms" ] ~docv:"MS"
+          ~doc:"Max time an admitted event waits before forcing a round.")
+  in
+  let queue_cap =
+    Arg.(
+      value & opt int 4096
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission-queue bound; overflow is NACKed with a retry-after hint.")
+  in
+  let grace_s =
+    Arg.(
+      value & opt float 1.0
+      & info [ "shutdown-grace" ] ~docv:"SECONDS"
+          ~doc:"Outbound flush budget during graceful shutdown.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "After shutdown, write telemetry in Prometheus text exposition format to \
+             $(docv) ($(b,-) for stdout).")
+  in
+  let metrics_summary =
+    Arg.(
+      value & flag
+      & info [ "metrics-summary" ]
+          ~doc:"Print a human-readable telemetry summary after shutdown.")
+  in
+  let doc = "persistent Firmament scheduler service over TCP/Unix sockets" in
+  Cmd.v
+    (Cmd.info "firmament_serve" ~doc)
+    Term.(
+      const run $ listen $ metrics_listen $ machines $ machines_per_rack $ slots $ policy
+      $ mode $ deadline $ incremental_budget $ batch_max $ linger_ms $ queue_cap $ grace_s
+      $ metrics_out $ metrics_summary)
+
+let () = exit (Cmd.eval cmd)

@@ -49,8 +49,8 @@ let export_metrics metrics_out metrics_json metrics_summary =
       reg
   end
 
-let run machines util horizon speedup seed policy mode max_rounds deadline pipelined
-    metrics_out metrics_json metrics_summary =
+let run machines util horizon speedup seed policy mode max_rounds deadline
+    incremental_budget pipelined metrics_out metrics_json metrics_summary =
   let trace =
     Cluster.Trace.generate
       {
@@ -70,7 +70,16 @@ let run machines util horizon speedup seed policy mode max_rounds deadline pipel
   let config =
     {
       Dcsim.Replay.default_config with
-      scheduler = { Firmament.Scheduler.default_config with mode; deadline };
+      scheduler =
+        {
+          Firmament.Scheduler.default_config with
+          mode;
+          deadline;
+          incremental_budget =
+            (match incremental_budget with
+            | Some b -> b
+            | None -> Firmament.Scheduler.default_config.incremental_budget);
+        };
       policy = policy_factory;
       pipelined;
       max_rounds = Some max_rounds;
@@ -156,6 +165,16 @@ let cmd =
             "Per-round wall-clock deadline. A round that exceeds it degrades to \
              best-effort partial placement instead of running long.")
   in
+  let incremental_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "incremental-budget" ] ~docv:"N"
+          ~doc:
+            "Work budget (relabel operations) for the O(changes) incremental repair \
+             path before falling back to a full solve. Default: the scheduler's \
+             built-in budget.")
+  in
   let pipelined =
     Arg.(
       value & flag
@@ -194,6 +213,7 @@ let cmd =
     (Cmd.info "firmament_sim" ~doc)
     Term.(
       const run $ machines $ util $ horizon $ speedup $ seed $ policy $ mode $ max_rounds
-      $ deadline $ pipelined $ metrics_out $ metrics_json $ metrics_summary)
+      $ deadline $ incremental_budget $ pipelined $ metrics_out $ metrics_json
+      $ metrics_summary)
 
 let () = exit (Cmd.eval cmd)

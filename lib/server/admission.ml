@@ -1,0 +1,40 @@
+type 'a t = {
+  ring : 'a option array;
+  mutable head : int;  (* next pop *)
+  mutable len : int;
+  mutable rejected : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  { ring = Array.make capacity None; head = 0; len = 0; rejected = 0 }
+
+let capacity q = Array.length q.ring
+let length q = q.len
+let is_empty q = q.len = 0
+let is_full q = q.len = Array.length q.ring
+let rejected q = q.rejected
+
+let push q x =
+  if is_full q then begin
+    q.rejected <- q.rejected + 1;
+    false
+  end
+  else begin
+    let cap = Array.length q.ring in
+    q.ring.((q.head + q.len) mod cap) <- Some x;
+    q.len <- q.len + 1;
+    true
+  end
+
+let pop q =
+  if q.len = 0 then None
+  else begin
+    let x = q.ring.(q.head) in
+    q.ring.(q.head) <- None;
+    q.head <- (q.head + 1) mod Array.length q.ring;
+    q.len <- q.len - 1;
+    x
+  end
+
+let peek q = if q.len = 0 then None else q.ring.(q.head)

@@ -1,0 +1,16 @@
+type t = { subs : (int, string -> unit) Hashtbl.t }
+
+let create () = { subs = Hashtbl.create 16 }
+let subscribe t ~id ~send = Hashtbl.replace t.subs id send
+let unsubscribe t ~id = Hashtbl.remove t.subs id
+let is_subscribed t ~id = Hashtbl.mem t.subs id
+let count t = Hashtbl.length t.subs
+
+let broadcast t bytes =
+  let n = ref 0 in
+  Hashtbl.iter
+    (fun _ send ->
+      send bytes;
+      incr n)
+    t.subs;
+  !n

@@ -1,0 +1,24 @@
+(** Subscription hub: the set of connections that asked for placement
+    pushes, addressed by connection id.
+
+    The server encodes each committed round's placement diff once and
+    {!broadcast}s the bytes; the hub fans them out through the per-
+    connection [send] callbacks (which enqueue into that connection's
+    outbound buffer — a send never blocks the event loop). A connection
+    that disconnects or misbehaves is {!unsubscribe}d by the server's
+    connection teardown. *)
+
+type t
+
+val create : unit -> t
+
+(** [subscribe t ~id ~send] registers (or replaces) subscriber [id]. *)
+val subscribe : t -> id:int -> send:(string -> unit) -> unit
+
+val unsubscribe : t -> id:int -> unit
+val is_subscribed : t -> id:int -> bool
+val count : t -> int
+
+(** [broadcast t bytes] sends [bytes] to every subscriber; returns how
+    many received it. *)
+val broadcast : t -> string -> int

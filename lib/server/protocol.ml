@@ -1,0 +1,345 @@
+type placement_kind = Start | Migrate | Preempt
+
+type placement = {
+  p_tid : int;
+  p_kind : placement_kind;
+  p_machine : int;
+  p_from : int;
+}
+
+type frame =
+  | Submit_job of {
+      seq : int;
+      jid : int;
+      task_count : int;
+      duration : float;
+      locality : int;
+    }
+  | Finish_task of { seq : int; tid : int }
+  | Preempt_task of { seq : int; tid : int }
+  | Fail_machine of { seq : int; machine : int }
+  | Restore_machine of { seq : int; machine : int }
+  | Subscribe of { seq : int }
+  | Stats_query of { seq : int }
+  | Ack of { seq : int }
+  | Nack of { seq : int; retry_after_ms : int }
+  | Placement_delta of { round : int; placements : placement list }
+  | Stats_reply of { seq : int; json : string }
+  | Shutdown of { reason : string }
+  | Protocol_error of { message : string }
+
+let pp_kind ppf = function
+  | Start -> Format.pp_print_string ppf "start"
+  | Migrate -> Format.pp_print_string ppf "migrate"
+  | Preempt -> Format.pp_print_string ppf "preempt"
+
+let pp ppf = function
+  | Submit_job { seq; jid; task_count; duration; locality } ->
+      Format.fprintf ppf "submit_job[%d] jid=%d tasks=%d dur=%g loc=%d" seq jid
+        task_count duration locality
+  | Finish_task { seq; tid } -> Format.fprintf ppf "finish_task[%d] tid=%d" seq tid
+  | Preempt_task { seq; tid } -> Format.fprintf ppf "preempt_task[%d] tid=%d" seq tid
+  | Fail_machine { seq; machine } ->
+      Format.fprintf ppf "fail_machine[%d] m=%d" seq machine
+  | Restore_machine { seq; machine } ->
+      Format.fprintf ppf "restore_machine[%d] m=%d" seq machine
+  | Subscribe { seq } -> Format.fprintf ppf "subscribe[%d]" seq
+  | Stats_query { seq } -> Format.fprintf ppf "stats_query[%d]" seq
+  | Ack { seq } -> Format.fprintf ppf "ack[%d]" seq
+  | Nack { seq; retry_after_ms } ->
+      Format.fprintf ppf "nack[%d] retry_after=%dms" seq retry_after_ms
+  | Placement_delta { round; placements } ->
+      Format.fprintf ppf "placement_delta round=%d (%d placements:" round
+        (List.length placements);
+      List.iter
+        (fun p ->
+          Format.fprintf ppf " %d:%a@%d" p.p_tid pp_kind p.p_kind p.p_machine)
+        placements;
+      Format.pp_print_string ppf ")"
+  | Stats_reply { seq; json } -> Format.fprintf ppf "stats_reply[%d] %s" seq json
+  | Shutdown { reason } -> Format.fprintf ppf "shutdown (%s)" reason
+  | Protocol_error { message } -> Format.fprintf ppf "protocol_error (%s)" message
+
+(* {1 CRC-32 (IEEE), table-driven} *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s ~off ~len =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  for i = off to off + len - 1 do
+    crc := table.((!crc lxor Char.code s.[i]) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let crc32_bytes b ~off ~len =
+  crc32 (Bytes.unsafe_to_string b) ~off ~len
+
+(* {1 Encoding} *)
+
+let version = 1
+let header_size = 12
+let max_payload = 1 lsl 20
+let magic0 = '\xF1'
+let magic1 = '\x4D'
+
+let tag_of = function
+  | Submit_job _ -> 0x01
+  | Finish_task _ -> 0x02
+  | Preempt_task _ -> 0x03
+  | Fail_machine _ -> 0x04
+  | Restore_machine _ -> 0x05
+  | Subscribe _ -> 0x06
+  | Stats_query _ -> 0x07
+  | Ack _ -> 0x81
+  | Nack _ -> 0x82
+  | Placement_delta _ -> 0x83
+  | Stats_reply _ -> 0x84
+  | Shutdown _ -> 0x85
+  | Protocol_error _ -> 0x86
+
+let add_u32 b v = Buffer.add_int32_be b (Int32.of_int (v land 0xFFFFFFFF))
+let add_u16 b v = Buffer.add_uint16_be b (v land 0xFFFF)
+let add_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+
+let kind_code = function Start -> 0 | Migrate -> 1 | Preempt -> 2
+
+let payload_of f =
+  let b = Buffer.create 32 in
+  (match f with
+  | Submit_job { seq; jid; task_count; duration; locality } ->
+      add_u32 b seq;
+      add_u32 b jid;
+      add_u16 b task_count;
+      add_u32 b locality;
+      Buffer.add_int64_be b (Int64.bits_of_float duration)
+  | Finish_task { seq; tid } | Preempt_task { seq; tid } ->
+      add_u32 b seq;
+      add_i64 b tid
+  | Fail_machine { seq; machine } | Restore_machine { seq; machine } ->
+      add_u32 b seq;
+      add_u32 b machine
+  | Subscribe { seq } | Stats_query { seq } | Ack { seq } -> add_u32 b seq
+  | Nack { seq; retry_after_ms } ->
+      add_u32 b seq;
+      add_u32 b retry_after_ms
+  | Placement_delta { round; placements } ->
+      add_u32 b round;
+      add_u16 b (List.length placements);
+      List.iter
+        (fun p ->
+          Buffer.add_uint8 b (kind_code p.p_kind);
+          add_i64 b p.p_tid;
+          add_u32 b p.p_machine;
+          add_u32 b p.p_from)
+        placements
+  | Stats_reply { seq; json } ->
+      add_u32 b seq;
+      Buffer.add_string b json
+  | Shutdown { reason } -> Buffer.add_string b reason
+  | Protocol_error { message } -> Buffer.add_string b message);
+  Buffer.contents b
+
+let encode_into b f =
+  let payload = payload_of f in
+  let len = String.length payload in
+  if len > max_payload then
+    invalid_arg "Protocol.encode: payload exceeds max_payload";
+  Buffer.add_char b magic0;
+  Buffer.add_char b magic1;
+  Buffer.add_uint8 b version;
+  Buffer.add_uint8 b (tag_of f);
+  add_u32 b len;
+  add_u32 b (crc32 payload ~off:0 ~len);
+  Buffer.add_string b payload
+
+let encode f =
+  let b = Buffer.create 64 in
+  encode_into b f;
+  Buffer.contents b
+
+(* {1 Decoding} *)
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Unknown_tag of int
+  | Oversized of int
+  | Crc_mismatch
+  | Malformed of string
+
+let pp_error ppf = function
+  | Bad_magic -> Format.pp_print_string ppf "bad magic"
+  | Bad_version v -> Format.fprintf ppf "unsupported protocol version %d" v
+  | Unknown_tag t -> Format.fprintf ppf "unknown frame tag 0x%02x" t
+  | Oversized n -> Format.fprintf ppf "payload length %d exceeds %d" n max_payload
+  | Crc_mismatch -> Format.pp_print_string ppf "payload CRC mismatch"
+  | Malformed m -> Format.fprintf ppf "malformed payload: %s" m
+
+exception Bad of string
+
+(* Cursor over the payload slice; every read is bounds-checked against the
+   declared payload length, and the parser must consume it exactly. *)
+type cursor = { buf : Bytes.t; limit : int; mutable pos : int }
+
+let need c n =
+  if c.pos + n > c.limit then raise (Bad "truncated field")
+
+let u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.buf c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let u16 c =
+  need c 2;
+  let v = Bytes.get_uint16_be c.buf c.pos in
+  c.pos <- c.pos + 2;
+  v
+
+let u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_be c.buf c.pos) land 0xFFFFFFFF in
+  c.pos <- c.pos + 4;
+  v
+
+let i64 c =
+  need c 8;
+  let v = Bytes.get_int64_be c.buf c.pos in
+  c.pos <- c.pos + 8;
+  match Int64.unsigned_to_int v with
+  | Some n -> n
+  | None -> raise (Bad "64-bit field out of int range")
+
+let f64 c =
+  need c 8;
+  let v = Int64.float_of_bits (Bytes.get_int64_be c.buf c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let rest_string c =
+  let s = Bytes.sub_string c.buf c.pos (c.limit - c.pos) in
+  c.pos <- c.limit;
+  s
+
+(* Signed-on-the-wire machine ids: 0xFFFFFFFF denotes -1 (no machine). *)
+let machine_of_u32 v = if v = 0xFFFFFFFF then -1 else v
+
+let parse_payload tag c =
+  match tag with
+  | 0x01 ->
+      let seq = u32 c in
+      let jid = u32 c in
+      let task_count = u16 c in
+      let locality = u32 c in
+      let duration = f64 c in
+      if task_count < 1 || task_count > 1000 then
+        raise (Bad "task_count out of range 1..1000");
+      if not (Float.is_finite duration) || duration < 0. then
+        raise (Bad "duration must be a non-negative finite float");
+      Submit_job { seq; jid; task_count; duration; locality }
+  | 0x02 ->
+      let seq = u32 c in
+      let tid = i64 c in
+      Finish_task { seq; tid }
+  | 0x03 ->
+      let seq = u32 c in
+      let tid = i64 c in
+      Preempt_task { seq; tid }
+  | 0x04 ->
+      let seq = u32 c in
+      let machine = u32 c in
+      Fail_machine { seq; machine }
+  | 0x05 ->
+      let seq = u32 c in
+      let machine = u32 c in
+      Restore_machine { seq; machine }
+  | 0x06 -> Subscribe { seq = u32 c }
+  | 0x07 -> Stats_query { seq = u32 c }
+  | 0x81 -> Ack { seq = u32 c }
+  | 0x82 ->
+      let seq = u32 c in
+      let retry_after_ms = u32 c in
+      Nack { seq; retry_after_ms }
+  | 0x83 ->
+      let round = u32 c in
+      let n = u16 c in
+      let rec go k acc =
+        if k = 0 then List.rev acc
+        else begin
+          let kind =
+            match u8 c with
+            | 0 -> Start
+            | 1 -> Migrate
+            | 2 -> Preempt
+            | k -> raise (Bad (Printf.sprintf "unknown placement kind %d" k))
+          in
+          let p_tid = i64 c in
+          let p_machine = machine_of_u32 (u32 c) in
+          let p_from = machine_of_u32 (u32 c) in
+          go (k - 1) ({ p_tid; p_kind = kind; p_machine; p_from } :: acc)
+        end
+      in
+      Placement_delta { round; placements = go n [] }
+  | 0x84 ->
+      let seq = u32 c in
+      let json = rest_string c in
+      Stats_reply { seq; json }
+  | 0x85 -> Shutdown { reason = rest_string c }
+  | 0x86 -> Protocol_error { message = rest_string c }
+  | _ -> assert false (* tag validated before parsing *)
+
+let known_tag = function
+  | 0x01 | 0x02 | 0x03 | 0x04 | 0x05 | 0x06 | 0x07 | 0x81 | 0x82 | 0x83 | 0x84
+  | 0x85 | 0x86 ->
+      true
+  | _ -> false
+
+let decode buf ~off ~len =
+  if len < 4 then
+    (* Not enough for magic+version+tag; still validate what is there so a
+       poisoned stream is rejected as early as possible. *)
+    if len >= 1 && Bytes.get buf off <> magic0 then `Error Bad_magic
+    else if len >= 2 && Bytes.get buf (off + 1) <> magic1 then `Error Bad_magic
+    else if len >= 3 && Bytes.get_uint8 buf (off + 2) <> version then
+      `Error (Bad_version (Bytes.get_uint8 buf (off + 2)))
+    else `Need_more
+  else if Bytes.get buf off <> magic0 || Bytes.get buf (off + 1) <> magic1 then
+    `Error Bad_magic
+  else if Bytes.get_uint8 buf (off + 2) <> version then
+    `Error (Bad_version (Bytes.get_uint8 buf (off + 2)))
+  else begin
+    let tag = Bytes.get_uint8 buf (off + 3) in
+    if not (known_tag tag) then `Error (Unknown_tag tag)
+    else if len < header_size then `Need_more
+    else begin
+      let plen =
+        Int32.to_int (Bytes.get_int32_be buf (off + 4)) land 0xFFFFFFFF
+      in
+      if plen > max_payload then `Error (Oversized plen)
+      else if len < header_size + plen then `Need_more
+      else begin
+        let crc_declared =
+          Int32.to_int (Bytes.get_int32_be buf (off + 8)) land 0xFFFFFFFF
+        in
+        if crc32_bytes buf ~off:(off + header_size) ~len:plen <> crc_declared
+        then `Error Crc_mismatch
+        else begin
+          let c = { buf; limit = off + header_size + plen; pos = off + header_size } in
+          match parse_payload tag c with
+          | f ->
+              if c.pos <> c.limit then
+                `Error (Malformed "trailing bytes after payload")
+              else `Frame (f, header_size + plen)
+          | exception Bad m -> `Error (Malformed m)
+        end
+      end
+    end
+  end

@@ -1,0 +1,97 @@
+(** The [firmament_serve] daemon: a persistent scheduler service
+    multiplexing many concurrent socket clients onto one pipelined
+    Firmament scheduler.
+
+    {2 Threading model}
+
+    A single-threaded, non-blocking [select] event loop owns everything:
+    the listener, every client connection, the admission queue and the
+    scheduler. One {!step} = one select round: accept, read + decode
+    frames, admit events (ACK) or refuse them (NACK backpressure when the
+    bounded queue is full), drive the scheduling round state machine, and
+    flush outbound buffers. Under [Race_parallel] the solve itself runs on
+    background domains ({!Firmament.Scheduler.begin_round} dispatches,
+    the loop keeps admitting and {e applying} events mid-solve — the PR 4
+    stale-aware commit reconciles), so ingestion overlaps the solve; under
+    the sequential modes the solve happens inside [begin_round] and the
+    kernel socket buffers absorb the burst.
+
+    {2 Round driving}
+
+    Admitted events batch between rounds: a round starts when the queue
+    reaches [batch_max], when the oldest admitted event has waited
+    [linger_s], or when tasks are left waiting and [linger_s] elapsed
+    since the last round. Each committed round's placement diff is encoded
+    once as a {!Protocol.Placement_delta} and broadcast to subscribers.
+
+    {2 Shutdown}
+
+    {!request_shutdown} (signal-handler safe) makes the next {!step} drain:
+    commit (or degrade, per the PR 1 ladder and the configured deadline)
+    the in-flight round, push its deltas, send every client a
+    {!Protocol.Shutdown} frame, flush outbound buffers within a bounded
+    grace period, close everything and mark the server {!finished} —
+    clients see an orderly goodbye, not ECONNRESET. *)
+
+type listen = Tcp of string * int | Unix_path of string
+
+(** ["HOST:PORT"] or ["unix:PATH"]. *)
+val listen_of_string : string -> (listen, string) result
+
+val pp_listen : Format.formatter -> listen -> unit
+
+type config = {
+  listen : listen;
+  metrics_listen : listen option;
+      (** optional Prometheus scrape endpoint: answers any HTTP GET with
+          the global telemetry registry in text exposition format *)
+  machines : int;
+  machines_per_rack : int;
+  slots_per_machine : int;
+  scheduler : Firmament.Scheduler.config;
+  policy :
+    drain:bool -> Firmament.Flow_network.t -> Cluster.State.t -> Firmament.Policy.t;
+  batch_max : int;  (** events applied per admission drain / round *)
+  linger_s : float;  (** max wait before admitted events force a round *)
+  queue_capacity : int;  (** admission-queue bound; overflow → NACK *)
+  max_out_buffer : int;
+      (** per-connection outbound cap in bytes; a subscriber that cannot
+          keep up is dropped rather than allowed to wedge the loop *)
+  shutdown_grace_s : float;  (** outbound flush budget during shutdown *)
+}
+
+(** 250 machines (8 per rack, 16 slots), [Fastest_sequential] solver,
+    4096-event queue, 1024-event batches, 20 ms linger, TCP on
+    127.0.0.1:7117, no metrics endpoint. *)
+val default_config : config
+
+type t
+
+(** [create config] binds the listener(s) and builds the cluster +
+    scheduler. SIGPIPE is set to ignore (writes to dead peers surface as
+    [EPIPE] and close that connection).
+    @raise Unix.Unix_error if binding fails. *)
+val create : config -> t
+
+val scheduler : t -> Firmament.Scheduler.t
+val cluster : t -> Cluster.State.t
+val rounds_committed : t -> int
+val connections : t -> int
+
+(** [step t ~timeout_s] runs one event-loop iteration, blocking in
+    [select] at most [timeout_s]. Safe to call after {!finished} (no-op).
+    Exposed so tests can interleave a client and the server
+    cooperatively in one process. *)
+val step : t -> timeout_s:float -> unit
+
+(** [run t] loops {!step} until a shutdown request completes. *)
+val run : t -> unit
+
+(** Ask for a graceful drain; the next {!step} performs it. Safe to call
+    from a signal handler. *)
+val request_shutdown : t -> unit
+
+val finished : t -> bool
+
+(** Force-close every fd without draining (test teardown). *)
+val stop : t -> unit

@@ -30,6 +30,8 @@ let prometheus ppf metrics =
           Format.fprintf ppf "%s_count %d@." v.name v.data.(v.buckets))
     views
 
+let prometheus_string metrics = Format.asprintf "%a" prometheus metrics
+
 let json_lines ppf metrics =
   let views = Metrics.views metrics in
   List.iter

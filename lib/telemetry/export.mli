@@ -13,6 +13,11 @@ val prometheus : Format.formatter -> Metrics.t -> unit
     nanosecond unit they were observed in — the [_ns] name suffix is the
     unit marker). *)
 
+val prometheus_string : Metrics.t -> string
+(** {!prometheus} rendered to a string — what a scrape endpoint (the
+    [firmament_serve] [--metrics-listen] HTTP responder) serves as its
+    response body. *)
+
 val json_lines : Format.formatter -> Metrics.t -> unit
 (** One JSON object per line per metric:
     [{"name":...,"kind":...,"value":N}] for counters and gauges,
